@@ -1,0 +1,383 @@
+//! Symbolic affine analysis of addresses within one loop.
+//!
+//! Registers are mapped to affine forms `base + Σ coeff·reg + const`, where
+//! `base` identifies a memory object (global, stack slot, or an opaque
+//! pointer flowing into the loop) and the `reg` terms are induction
+//! variables or loop-invariant integer registers. This is the information
+//! LLVM's scalar evolution provides to real vectorizers; the model
+//! vectorizer derives stride, dependence distances, and aliasing verdicts
+//! from it.
+
+use std::collections::{BTreeMap, HashMap};
+use vectorscope_ir::loops::Loop;
+use vectorscope_ir::{BinOp, Function, InstKind, RegId, ScalarTy, Value};
+
+/// The provenance of an address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Base {
+    /// A named module global — distinct globals never alias.
+    Global(u32),
+    /// A stack slot of the current frame (by frame offset) — distinct
+    /// offsets never alias.
+    Frame(u64),
+    /// The value of a pointer register at loop entry (parameter or
+    /// pointer-typed local): unknown provenance, may alias anything except
+    /// a different occurrence of itself at distance checks.
+    LoopIn(RegId),
+    /// No base: a pure integer value.
+    None,
+}
+
+/// An affine form `base + Σ coeffs[r]·r + konst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Affine {
+    /// Memory object, or [`Base::None`] for integers.
+    pub base: Base,
+    /// Coefficients per register (absent = 0). Keys are registers whose
+    /// value the loop does not recompute in a way we track (IVs appear
+    /// here; loop-invariant registers too).
+    pub coeffs: BTreeMap<RegId, i64>,
+    /// Constant term in bytes.
+    pub konst: i64,
+}
+
+impl Affine {
+    fn int_const(k: i64) -> Self {
+        Affine {
+            base: Base::None,
+            coeffs: BTreeMap::new(),
+            konst: k,
+        }
+    }
+
+    fn of_reg(r: RegId) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(r, 1);
+        Affine {
+            base: Base::None,
+            coeffs,
+            konst: 0,
+        }
+    }
+
+    fn of_base(base: Base) -> Self {
+        Affine {
+            base,
+            coeffs: BTreeMap::new(),
+            konst: 0,
+        }
+    }
+
+    fn add(&self, other: &Affine) -> Option<Affine> {
+        let base = match (&self.base, &other.base) {
+            (b, Base::None) => b.clone(),
+            (Base::None, b) => b.clone(),
+            _ => return None, // adding two pointers
+        };
+        let mut coeffs = self.coeffs.clone();
+        for (r, c) in &other.coeffs {
+            *coeffs.entry(*r).or_insert(0) += c;
+        }
+        coeffs.retain(|_, c| *c != 0);
+        Some(Affine {
+            base,
+            coeffs,
+            konst: self.konst + other.konst,
+        })
+    }
+
+    fn negate(&self) -> Option<Affine> {
+        if self.base != Base::None {
+            return None;
+        }
+        Some(Affine {
+            base: Base::None,
+            coeffs: self.coeffs.iter().map(|(r, c)| (*r, -c)).collect(),
+            konst: -self.konst,
+        })
+    }
+
+    fn scale(&self, k: i64) -> Option<Affine> {
+        if self.base != Base::None {
+            return None;
+        }
+        if k == 0 {
+            return Some(Affine::int_const(0));
+        }
+        Some(Affine {
+            base: Base::None,
+            coeffs: self.coeffs.iter().map(|(r, c)| (*r, c * k)).collect(),
+            konst: self.konst * k,
+        })
+    }
+
+    /// The coefficient of register `r`.
+    pub fn coeff(&self, r: RegId) -> i64 {
+        self.coeffs.get(&r).copied().unwrap_or(0)
+    }
+}
+
+/// One analyzed memory access inside the loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Access {
+    /// The load/store instruction id.
+    pub inst: vectorscope_ir::InstId,
+    /// Whether it writes.
+    pub is_store: bool,
+    /// Access size in bytes.
+    pub size: u64,
+    /// The address in affine form, or `None` when unanalyzable.
+    pub addr: Option<Affine>,
+}
+
+/// An induction variable: a register advanced by a constant each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InductionVar {
+    /// The register.
+    pub reg: RegId,
+    /// The per-iteration step in the register's units (bytes for pointer
+    /// IVs, value units for integer IVs).
+    pub step: i64,
+    /// Whether this is a pointer walked through memory (`p++`).
+    pub is_pointer: bool,
+}
+
+/// The result of the affine scan of one loop body.
+#[derive(Debug, Clone)]
+pub struct LoopAccessInfo {
+    /// Recognized induction variables.
+    pub ivs: Vec<InductionVar>,
+    /// All memory accesses, analyzed where possible.
+    pub accesses: Vec<Access>,
+    /// Ids of call instructions found in the body (non-intrinsic).
+    pub calls: usize,
+    /// Number of conditional branches in the body beyond the loop's own
+    /// exit tests.
+    pub inner_branches: usize,
+}
+
+/// Recognizes induction variables of `l`: registers `r` with exactly one
+/// in-loop update of the form `r2 = r ± c; r = r2` (integer) or
+/// `r2 = gep r + 1·c; r = r2` (pointer walk).
+pub fn induction_vars(func: &Function, l: &Loop) -> Vec<InductionVar> {
+    // Map: dst register of candidate update -> (source reg, step, is_ptr).
+    let mut updates: HashMap<RegId, (RegId, i64, bool)> = HashMap::new();
+    // Count all in-loop definitions per register.
+    let mut def_counts: HashMap<RegId, u32> = HashMap::new();
+    for &b in &l.blocks {
+        for inst in &func.block(b).insts {
+            if let Some(d) = inst.dst() {
+                *def_counts.entry(d).or_insert(0) += 1;
+            }
+            match &inst.kind {
+                InstKind::Bin {
+                    op: op @ (BinOp::IAdd | BinOp::ISub),
+                    dst,
+                    lhs: Value::Reg(src),
+                    rhs: Value::ImmInt(c),
+                    ..
+                } => {
+                    let step = if *op == BinOp::IAdd { *c } else { -*c };
+                    updates.insert(*dst, (*src, step, false));
+                }
+                InstKind::Gep {
+                    dst,
+                    base: Value::Reg(src),
+                    indices,
+                    offset,
+                } => {
+                    // p2 = p + const (possibly via a single imm index).
+                    let mut step = *offset;
+                    let mut simple = true;
+                    for (idx, scale) in indices {
+                        match idx {
+                            Value::ImmInt(i) => step += i * scale,
+                            _ => simple = false,
+                        }
+                    }
+                    if simple {
+                        updates.insert(*dst, (*src, step, true));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // An IV's closing copy: `copy r = r2` where r2 = r + step.
+    let mut out = Vec::new();
+    for &b in &l.blocks {
+        for inst in &func.block(b).insts {
+            if let InstKind::Cast {
+                dst,
+                to,
+                from,
+                src: Value::Reg(src),
+            } = &inst.kind
+            {
+                if to == from {
+                    if let Some(&(orig, step, is_pointer)) = updates.get(src) {
+                        if orig == *dst && def_counts.get(dst) == Some(&1) {
+                            out.push(InductionVar {
+                                reg: *dst,
+                                step,
+                                is_pointer: is_pointer
+                                    || func.reg(*dst).ty == ScalarTy::Ptr,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by_key(|iv| iv.reg);
+    out.dedup_by_key(|iv| iv.reg);
+    out
+}
+
+/// Scans the loop body, symbolically evaluating integer/pointer registers,
+/// and returns every memory access in affine form where possible.
+pub fn scan_loop(func: &Function, l: &Loop) -> LoopAccessInfo {
+    let ivs = induction_vars(func, l);
+
+    // Initial symbolic state: every register maps to itself (its value at
+    // loop entry / as a symbol). We materialize entries lazily.
+    let mut sym: HashMap<RegId, Option<Affine>> = HashMap::new();
+    let lookup = |sym: &HashMap<RegId, Option<Affine>>, func: &Function, r: RegId| -> Option<Affine> {
+        match sym.get(&r) {
+            Some(v) => v.clone(),
+            None => {
+                // Unwritten-so-far register: a loop-entry symbol. Pointers
+                // get an opaque base; integers are symbolic terms.
+                if func.reg(r).ty == ScalarTy::Ptr {
+                    Some(Affine::of_base(Base::LoopIn(r)))
+                } else {
+                    Some(Affine::of_reg(r))
+                }
+            }
+        }
+    };
+    let value_of = |sym: &HashMap<RegId, Option<Affine>>, func: &Function, v: Value| -> Option<Affine> {
+        match v {
+            Value::Reg(r) => lookup(sym, func, r),
+            Value::ImmInt(k) => Some(Affine::int_const(k)),
+            Value::ImmFloat(_) => None,
+        }
+    };
+
+    let mut accesses = Vec::new();
+    let mut calls = 0;
+    let mut inner_branches = 0;
+
+    // Walk blocks in id order (the frontend emits loop bodies in order;
+    // precision, not soundness, is all that is at stake for the model).
+    for &b in &l.blocks {
+        let block = func.block(b);
+        for inst in &block.insts {
+            match &inst.kind {
+                InstKind::Gep {
+                    dst,
+                    base,
+                    indices,
+                    offset,
+                } => {
+                    let mut acc = value_of(&sym, func, *base);
+                    for (idx, scale) in indices {
+                        acc = match (acc, value_of(&sym, func, *idx)) {
+                            (Some(a), Some(i)) => i.scale(*scale).and_then(|s| a.add(&s)),
+                            _ => None,
+                        };
+                    }
+                    let acc = acc.and_then(|a| a.add(&Affine::int_const(*offset)));
+                    sym.insert(*dst, acc);
+                }
+                InstKind::FrameAddr { dst, offset } => {
+                    sym.insert(
+                        *dst,
+                        Some(Affine {
+                            base: Base::Frame(*offset),
+                            coeffs: BTreeMap::new(),
+                            konst: 0,
+                        }),
+                    );
+                }
+                InstKind::GlobalAddr { dst, global } => {
+                    sym.insert(*dst, Some(Affine::of_base(Base::Global(global.0))));
+                }
+                InstKind::Bin { op, ty, dst, lhs, rhs } if ty.is_int() => {
+                    let a = value_of(&sym, func, *lhs);
+                    let c = value_of(&sym, func, *rhs);
+                    let v = match (op, a, c) {
+                        (BinOp::IAdd, Some(a), Some(b)) => a.add(&b),
+                        (BinOp::ISub, Some(a), Some(b)) => b.negate().and_then(|nb| a.add(&nb)),
+                        (BinOp::IMul, Some(a), Some(b)) => {
+                            if a.base == Base::None && a.coeffs.is_empty() {
+                                b.scale(a.konst)
+                            } else if b.base == Base::None && b.coeffs.is_empty() {
+                                a.scale(b.konst)
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    };
+                    sym.insert(*dst, v);
+                }
+                InstKind::Cast { dst, to, from, src } => {
+                    if to == from || (to.is_int() && from.is_int()) {
+                        let v = value_of(&sym, func, *src);
+                        sym.insert(*dst, v);
+                    } else if let Some(d) = inst.dst() {
+                        sym.insert(d, None);
+                    }
+                }
+                InstKind::Load { dst, ty, addr } => {
+                    let a = value_of(&sym, func, *addr);
+                    accesses.push(Access {
+                        inst: inst.id,
+                        is_store: false,
+                        size: ty.size(),
+                        addr: a,
+                    });
+                    // Loaded values have unknown provenance (indirection).
+                    sym.insert(*dst, None);
+                }
+                InstKind::Store { ty, addr, .. } => {
+                    let a = value_of(&sym, func, *addr);
+                    accesses.push(Access {
+                        inst: inst.id,
+                        is_store: true,
+                        size: ty.size(),
+                        addr: a,
+                    });
+                }
+                InstKind::Call { dst, .. } => {
+                    calls += 1;
+                    if let Some(d) = dst {
+                        sym.insert(*d, None);
+                    }
+                }
+                _ => {
+                    if let Some(d) = inst.dst() {
+                        sym.insert(d, None);
+                    }
+                }
+            }
+        }
+        if let Some(term) = &block.term {
+            if let vectorscope_ir::TermKind::CondBr { .. } = term.kind {
+                // The header's exit test is loop control; anything else is
+                // data-dependent control flow.
+                if b != l.header {
+                    inner_branches += 1;
+                }
+            }
+        }
+    }
+
+    LoopAccessInfo {
+        ivs,
+        accesses,
+        calls,
+        inner_branches,
+    }
+}

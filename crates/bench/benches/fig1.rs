@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 of the paper. Run: cargo bench -p vectorscope-bench --bench fig1
+fn main() {
+    println!("{}", vectorscope_bench::figures::fig1());
+}

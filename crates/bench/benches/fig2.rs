@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 of the paper. Run: cargo bench -p vectorscope-bench --bench fig2
+fn main() {
+    println!("{}", vectorscope_bench::figures::fig2());
+}

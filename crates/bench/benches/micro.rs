@@ -1,0 +1,149 @@
+//! Criterion micro-benchmarks of the analysis pipeline itself: trace
+//! capture, DDG construction, Algorithm 1 partitioning, stride analysis,
+//! and the end-to-end driver. The paper reports the analysis cost as "tens
+//! to hundreds of microseconds per DDG node"; these benches measure ours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::HashSet;
+use std::hint::black_box;
+use vectorscope::{analyze_source, partition, AnalysisOptions};
+use vectorscope_ddg::{kumar, Ddg};
+use vectorscope_interp::{CaptureSpec, Vm};
+use vectorscope_trace::Trace;
+
+fn stencil_src(n: usize) -> String {
+    format!(
+        r#"
+const int N = {n};
+double a[N][N];
+double b[N][N];
+double rnd(int k) {{
+    int h = (k * 1103515245 + 12345) % 100000;
+    if (h < 0) {{ h = -h; }}
+    return (double)h * 0.00001;
+}}
+void main() {{
+    for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+            a[i][j] = rnd(i * N + j);
+    for (int i = 1; i < N - 1; i++)
+        for (int j = 1; j < N - 1; j++)
+            b[i][j] = (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]) * 0.25;
+}}
+"#
+    )
+}
+
+fn program_trace(src: &str) -> (vectorscope_ir::Module, Trace) {
+    let module = vectorscope_frontend::compile("bench.kern", src).unwrap();
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, "bench");
+    vm.run_main().unwrap();
+    let trace = vm.take_trace().unwrap();
+    (module, trace)
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vm_execution");
+    for n in [16usize, 32, 64] {
+        let src = stencil_src(n);
+        let module = vectorscope_frontend::compile("bench.kern", &src).unwrap();
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &module, |b, module| {
+            b.iter(|| {
+                let mut vm = Vm::new(black_box(module));
+                vm.run_main().unwrap();
+                black_box(vm.profiler().total_cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ddg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ddg_build");
+    for n in [16usize, 32, 64] {
+        let (module, trace) = program_trace(&stencil_src(n));
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(trace.len()),
+            &(&module, &trace),
+            |b, (module, trace)| {
+                b.iter(|| black_box(Ddg::build(module, trace)).len());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let (module, trace) = program_trace(&stencil_src(48));
+    let ddg = Ddg::build(&module, &trace);
+    let inst = ddg.candidate_insts()[0];
+    let empty = HashSet::new();
+    let mut group = c.benchmark_group("algorithm1");
+    group.throughput(Throughput::Elements(ddg.len() as u64));
+    group.bench_function("partition", |b| {
+        b.iter(|| black_box(partition(&ddg, inst, &empty)).groups.len());
+    });
+    group.bench_function("kumar", |b| {
+        b.iter(|| black_box(kumar::analyze(&ddg)).critical_path);
+    });
+    group.finish();
+}
+
+fn bench_stride(c: &mut Criterion) {
+    let (module, trace) = program_trace(&stencil_src(48));
+    let ddg = Ddg::build(&module, &trace);
+    let inst = ddg.candidate_insts()[0];
+    let parts = partition(&ddg, inst, &HashSet::new());
+    let biggest = parts
+        .groups
+        .iter()
+        .max_by_key(|g| g.len())
+        .cloned()
+        .unwrap();
+    let mut group = c.benchmark_group("stride");
+    group.throughput(Throughput::Elements(biggest.len() as u64));
+    group.bench_function("unit_stride", |b| {
+        b.iter(|| black_box(vectorscope::unit_stride(&ddg, &biggest, 8)).len());
+    });
+    group.finish();
+}
+
+fn bench_trace_codec(c: &mut Criterion) {
+    let (_, trace) = program_trace(&stencil_src(48));
+    let bytes = trace.to_bytes();
+    let mut group = c.benchmark_group("trace_codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(trace.to_bytes()).len());
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| Trace::from_bytes(black_box(&bytes)).unwrap().len());
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let src = stencil_src(32);
+    c.bench_function("analyze_source_stencil32", |b| {
+        b.iter(|| {
+            let suite =
+                analyze_source("bench.kern", black_box(&src), &AnalysisOptions::default())
+                    .unwrap();
+            black_box(suite.loops.len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_execution,
+    bench_ddg_build,
+    bench_partition,
+    bench_stride,
+    bench_trace_codec,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 of the paper. Run: cargo bench -p vectorscope-bench --bench table1
+fn main() {
+    println!("{}", vectorscope_bench::tables::table1());
+}

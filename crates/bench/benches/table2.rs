@@ -1,0 +1,4 @@
+//! Regenerates Table 2 of the paper. Run: cargo bench -p vectorscope-bench --bench table2
+fn main() {
+    println!("{}", vectorscope_bench::tables::table2());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 3 of the paper. Run: cargo bench -p vectorscope-bench --bench table3
+fn main() {
+    println!("{}", vectorscope_bench::tables::table3());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 4 of the paper. Run: cargo bench -p vectorscope-bench --bench table4
+fn main() {
+    println!("{}", vectorscope_bench::tables::table4());
+}

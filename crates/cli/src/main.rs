@@ -1,0 +1,470 @@
+//! `vscope`: command-line driver for the vectorscope analyzer.
+//!
+//! ```text
+//! vscope analyze <file.kern> [--threshold PCT] [--break-reductions]
+//!                            [--integer-ops] [--verbose] [--json]
+//! vscope profile <file.kern>
+//! vscope vectorize <file.kern>
+//! vscope trace <file.kern> [--out trace.bin]
+//! vscope ir <file.kern>
+//! vscope kernels
+//! vscope kernel <name> [<variant>] [--verbose]
+//! vscope triage <file.kern> [--threshold PCT]
+//! vscope table <1|2|3|4>
+//! vscope fig <1|2>
+//! ```
+
+use std::process::ExitCode;
+use vectorscope::report::{render_inst_breakdown, render_table};
+use vectorscope::{analyze_source, AnalysisOptions};
+use vectorscope_autovec::{analyze_module, percent_packed};
+use vectorscope_interp::{CaptureSpec, Vm};
+use vectorscope_kernels::Variant;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "vscope — dynamic trace-based analysis of vectorization potential\n\
+         \n\
+         USAGE:\n\
+           vscope analyze <file.kern> [--threshold PCT] [--break-reductions] [--verbose]\n\
+           vscope profile <file.kern>           show per-loop cycle profile\n\
+           vscope vectorize <file.kern>         show model auto-vectorizer decisions\n\
+           vscope trace <file.kern> [--out F]   capture a whole-program trace\n\
+           vscope ir <file.kern>                dump the compiled IR\n\
+           vscope kernels                       list the built-in benchmark kernels\n\
+           vscope kernel <name> [<variant>]     analyze a built-in kernel\n\
+           vscope triage <file.kern>            rank loops by missed opportunity\n\
+           vscope parallelism <file.kern>       Kumar critical-path profile (prior work)\n\
+           vscope ddg <file.kern> [--out F.dot] export the DDG as Graphviz DOT\n\
+           vscope suite                         characterize the built-in kernel suite\n\
+           vscope table <1|2|3|4>               regenerate a paper table\n\
+           vscope fig <1|2>                     regenerate a paper figure"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "profile" => cmd_profile(rest),
+        "vectorize" => cmd_vectorize(rest),
+        "trace" => cmd_trace(rest),
+        "ir" => cmd_ir(rest),
+        "kernels" => cmd_kernels(),
+        "kernel" => cmd_kernel(rest),
+        "triage" => cmd_triage(rest),
+        "parallelism" => cmd_parallelism(rest),
+        "ddg" => cmd_ddg(rest),
+        "suite" => cmd_suite(rest),
+        "table" => cmd_table(rest),
+        "fig" => cmd_fig(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vscope: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn read_source(path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(std::fs::read_to_string(path)?)
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn opt_value<'a>(rest: &'a [String], name: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == name)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(rest: &[String], idx: usize) -> Option<&str> {
+    let mut skip_next = false;
+    let mut seen = 0;
+    for a in rest {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--threshold" || a == "--out" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        if seen == idx {
+            return Some(a);
+        }
+        seen += 1;
+    }
+    None
+}
+
+fn analysis_options(rest: &[String]) -> Result<AnalysisOptions, Box<dyn std::error::Error>> {
+    let mut options = AnalysisOptions {
+        break_reductions: flag(rest, "--break-reductions"),
+        include_integer_ops: flag(rest, "--integer-ops"),
+        ..AnalysisOptions::default()
+    };
+    if let Some(t) = opt_value(rest, "--threshold") {
+        options.hot_threshold_pct = t.parse::<f64>()?;
+    }
+    Ok(options)
+}
+
+/// Analyzes a source and prints its hot-loop table (shared by `analyze`
+/// and `kernel`).
+fn analyze_and_print(
+    name: &str,
+    source: &str,
+    options: &AnalysisOptions,
+    verbose: bool,
+    json: bool,
+) -> CliResult {
+    let suite = analyze_source(name, source, options)?;
+    let decisions = analyze_module(&suite.module);
+    let mut loops = suite.loops;
+    for report in &mut loops {
+        let counts: Vec<(vectorscope_ir::InstId, u64)> = report
+            .per_inst
+            .iter()
+            .map(|m| (m.inst, m.instances))
+            .collect();
+        report.percent_packed = Some(percent_packed(&decisions, &counts));
+    }
+    if json {
+        println!("{}", vectorscope::json::suite_json(&loops));
+        return Ok(());
+    }
+    if loops.is_empty() {
+        println!(
+            "no loops above {:.0}% of cycles; try --threshold with a lower value",
+            options.hot_threshold_pct
+        );
+        return Ok(());
+    }
+    println!("{}", render_table(name, &loops));
+    if verbose {
+        for report in &loops {
+            println!("{}", render_inst_breakdown(report));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("analyze: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let options = analysis_options(rest)?;
+    analyze_and_print(
+        path,
+        &source,
+        &options,
+        flag(rest, "--verbose"),
+        flag(rest, "--json"),
+    )
+}
+
+fn cmd_profile(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("profile: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let module = vectorscope_frontend::compile(path, &source)?;
+    let mut vm = Vm::new(&module);
+    vm.run_main()?;
+    let profiles = vm.profiler().profiles(&module, vm.forests());
+    println!(
+        "{:<30} {:>6} {:>14} {:>14} {:>10} {:>8}",
+        "loop", "depth", "self cycles", "incl cycles", "entries", "percent"
+    );
+    for p in profiles {
+        println!(
+            "{:<30} {:>6} {:>14} {:>14} {:>10} {:>7.1}%",
+            format!("{}:{}", p.func_name, p.span.line),
+            p.depth,
+            p.self_cycles,
+            p.inclusive_cycles,
+            p.entries,
+            p.percent
+        );
+    }
+    println!("total cycles: {}", vm.profiler().total_cycles());
+    Ok(())
+}
+
+fn cmd_vectorize(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("vectorize: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let module = vectorscope_frontend::compile(path, &source)?;
+    for d in analyze_module(&module) {
+        let func = module.function(d.func).name();
+        if d.vectorized {
+            println!(
+                "{func}:{} VECTORIZED{} ({} packed FP instruction(s))",
+                d.line,
+                if d.reduction { " (reduction)" } else { "" },
+                d.packed.len()
+            );
+        } else {
+            println!(
+                "{func}:{} not vectorized: {}",
+                d.line,
+                d.reason.map(|r| r.to_string()).unwrap_or_default()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("trace: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let module = vectorscope_frontend::compile(path, &source)?;
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, path);
+    vm.run_main()?;
+    let trace = vm.take_trace().expect("capture armed");
+    println!("captured {} events", trace.len());
+    if let Some(out) = opt_value(rest, "--out") {
+        std::fs::write(out, trace.to_bytes())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_ir(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("ir: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let module = vectorscope_frontend::compile(path, &source)?;
+    println!("{module}");
+    Ok(())
+}
+
+fn cmd_kernels() -> CliResult {
+    println!("{:<20} {:<10} {:<12}", "name", "group", "variant");
+    for k in vectorscope_kernels::all_kernels() {
+        println!(
+            "{:<20} {:<10} {:<12}",
+            k.name,
+            format!("{:?}", k.group),
+            k.variant.to_string()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_kernel(rest: &[String]) -> CliResult {
+    let name = positional(rest, 0).ok_or("kernel: missing <name>")?;
+    let variant = match positional(rest, 1) {
+        None => None,
+        Some("sole") => Some(Variant::Sole),
+        Some("array") => Some(Variant::Array),
+        Some("pointer") => Some(Variant::Pointer),
+        Some("original") => Some(Variant::Original),
+        Some("transformed") => Some(Variant::Transformed),
+        Some(other) => return Err(format!("unknown variant `{other}`").into()),
+    };
+    let kernel = vectorscope_kernels::all_kernels()
+        .into_iter()
+        .find(|k| k.name == name && variant.map(|v| v == k.variant).unwrap_or(true))
+        .ok_or_else(|| format!("no kernel `{name}` (try `vscope kernels`)"))?;
+    let options = analysis_options(rest)?;
+    analyze_and_print(
+        &kernel.file_name(),
+        &kernel.source,
+        &options,
+        flag(rest, "--verbose"),
+        flag(rest, "--json"),
+    )
+}
+
+/// The prior-work whole-DAG parallelism profile (Kumar 1988, paper §2.1):
+/// critical path, average parallelism, and the operations-per-timestamp
+/// histogram over the whole program trace.
+fn cmd_parallelism(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("parallelism: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let module = vectorscope_frontend::compile(path, &source)?;
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, path);
+    vm.run_main()?;
+    let trace = vm.take_trace().expect("capture armed");
+    let ddg = vectorscope_ddg::Ddg::build(&module, &trace);
+    let k = vectorscope_ddg::kumar::analyze(&ddg);
+    println!(
+        "{} DDG nodes, critical path {}, average parallelism {:.2}",
+        ddg.len(),
+        k.critical_path,
+        k.average_parallelism()
+    );
+    // Coarse histogram: bucket the timestamp axis into at most 20 rows.
+    let buckets = 20usize.min(k.histogram.len().max(1));
+    if k.histogram.is_empty() {
+        return Ok(());
+    }
+    let per = k.histogram.len().div_ceil(buckets);
+    let max: u64 = k.histogram.chunks(per).map(|c| c.iter().sum()).max().unwrap_or(1);
+    for (i, chunk) in k.histogram.chunks(per).enumerate() {
+        let total: u64 = chunk.iter().sum();
+        let width = (total * 50 / max.max(1)) as usize;
+        println!(
+            "t{:>6}..{:<6} {:>8} |{}",
+            i * per + 1,
+            (i + 1) * per,
+            total,
+            "#".repeat(width)
+        );
+    }
+    Ok(())
+}
+
+/// Exports the whole-program DDG as Graphviz DOT (the paper's Fig. 1/2
+/// style dependence diagrams).
+fn cmd_ddg(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("ddg: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let module = vectorscope_frontend::compile(path, &source)?;
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, path);
+    vm.run_main()?;
+    let trace = vm.take_trace().expect("capture armed");
+    let ddg = vectorscope_ddg::Ddg::build(&module, &trace);
+    let options = vectorscope_ddg::dot::DotOptions {
+        candidates_only: flag(rest, "--candidates-only"),
+        ..vectorscope_ddg::dot::DotOptions::default()
+    };
+    let text = vectorscope_ddg::dot::to_dot(&module, &ddg, &options);
+    match opt_value(rest, "--out") {
+        Some(out) => {
+            std::fs::write(out, &text)?;
+            println!("wrote {out} ({} nodes)", ddg.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_triage(rest: &[String]) -> CliResult {
+    use vectorscope::triage::{triage_suite, TriageThresholds};
+    let path = positional(rest, 0).ok_or("triage: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let options = analysis_options(rest)?;
+    let suite = analyze_source(path, &source, &options)?;
+    let decisions = analyze_module(&suite.module);
+    let mut loops = suite.loops;
+    for report in &mut loops {
+        let counts: Vec<(vectorscope_ir::InstId, u64)> = report
+            .per_inst
+            .iter()
+            .map(|m| (m.inst, m.instances))
+            .collect();
+        report.percent_packed = Some(percent_packed(&decisions, &counts));
+    }
+    let thresholds = TriageThresholds::default();
+    println!(
+        "{:<30} {:>8} {:>8} {:>10} {:>8}  verdict",
+        "loop", "%cycles", "%packed", "potential", "irreg."
+    );
+    for (i, verdict) in triage_suite(&loops, &thresholds) {
+        let r = &loops[i];
+        println!(
+            "{:<30} {:>7.1}% {:>7.1}% {:>9.1}% {:>8.2}  {}",
+            r.location(),
+            r.percent_cycles,
+            r.percent_packed.unwrap_or(0.0),
+            r.metrics.pct_unit_vec_ops + r.metrics.pct_non_unit_vec_ops,
+            r.control_irregularity,
+            verdict
+        );
+    }
+    Ok(())
+}
+
+/// Characterizes the whole built-in kernel suite — the paper's
+/// "characterization of code bases" workflow (§1): one triage verdict per
+/// kernel's hottest loop.
+fn cmd_suite(_rest: &[String]) -> CliResult {
+    use vectorscope::triage::{triage, TriageThresholds};
+    let options = AnalysisOptions::default();
+    let thresholds = TriageThresholds::default();
+    println!(
+        "{:<28} {:>8} {:>10} {:>8}  verdict",
+        "kernel", "%packed", "potential", "irreg."
+    );
+    for kernel in vectorscope_kernels::all_kernels() {
+        let suite = match analyze_source(&kernel.file_name(), &kernel.source, &options) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("{:<28} error: {e}", kernel.file_name());
+                continue;
+            }
+        };
+        let decisions = analyze_module(&suite.module);
+        // The kernel's hottest FP loop.
+        let mut best: Option<vectorscope::LoopReport> = None;
+        for mut report in suite.loops {
+            if report.metrics.total_ops == 0 {
+                continue;
+            }
+            let counts: Vec<(vectorscope_ir::InstId, u64)> = report
+                .per_inst
+                .iter()
+                .map(|m| (m.inst, m.instances))
+                .collect();
+            report.percent_packed = Some(percent_packed(&decisions, &counts));
+            let better = best
+                .as_ref()
+                .map(|b| report.percent_cycles > b.percent_cycles)
+                .unwrap_or(true);
+            if better {
+                best = Some(report);
+            }
+        }
+        let Some(report) = best else {
+            println!("{:<28} no FP loops above threshold", kernel.file_name());
+            continue;
+        };
+        println!(
+            "{:<28} {:>7.1}% {:>9.1}% {:>8.2}  {}",
+            kernel.file_name(),
+            report.percent_packed.unwrap_or(0.0),
+            report.metrics.pct_unit_vec_ops + report.metrics.pct_non_unit_vec_ops,
+            report.control_irregularity,
+            triage(&report, &thresholds)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_table(rest: &[String]) -> CliResult {
+    match positional(rest, 0) {
+        Some("1") => println!("{}", vectorscope_bench::tables::table1()),
+        Some("2") => println!("{}", vectorscope_bench::tables::table2()),
+        Some("3") => println!("{}", vectorscope_bench::tables::table3()),
+        Some("4") => println!("{}", vectorscope_bench::tables::table4()),
+        _ => return Err("table: expected 1, 2, 3, or 4".into()),
+    }
+    Ok(())
+}
+
+fn cmd_fig(rest: &[String]) -> CliResult {
+    match positional(rest, 0) {
+        Some("1") => println!("{}", vectorscope_bench::figures::fig1()),
+        Some("2") => println!("{}", vectorscope_bench::figures::fig2()),
+        _ => return Err("fig: expected 1 or 2".into()),
+    }
+    Ok(())
+}

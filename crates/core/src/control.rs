@@ -1,0 +1,184 @@
+//! Control-flow regularity characterization — the refinement the paper
+//! proposes as future work in §4.4.
+//!
+//! The 453.povray case study shows the limitation being addressed: its
+//! worklist loop has high measured concurrency, but the control flow is so
+//! data-dependent that the potential is "extremely challenging to exploit".
+//! Contrast the PDE solver, whose boundary `if` is heavily biased and
+//! structured — there the potential *is* realizable (and the paper realizes
+//! it by hoisting the test).
+//!
+//! The metric: for every data-dependent conditional branch inside a loop
+//! body (the loop's own exit tests excluded), take the binary entropy of
+//! its outcome distribution and weight by execution count. 0.0 means
+//! branch-free or perfectly biased control flow (vectorizable with
+//! masking/versioning); values near 1.0 mean coin-flip branching that no
+//! static transformation will tame.
+
+use std::collections::HashSet;
+use vectorscope_ir::loops::LoopId;
+use vectorscope_ir::{FuncId, Module, TermKind};
+
+/// Binary entropy of a probability (0 at p ∈ {0,1}, 1 at p = 0.5).
+fn entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Computes the control-irregularity score of one loop from a profiled
+/// run's branch statistics (see
+/// [`Vm::branch_taken`](vectorscope_interp::Vm::branch_taken)).
+///
+/// `inst_counts` and `branch_taken` are indexed by `InstId::index()`. The
+/// loop's header exit test and the exit tests of loops nested inside it
+/// are loop control, not data-dependent branching, and are excluded;
+/// conditional branches in functions *called* from the loop are currently
+/// not attributed (function-local analysis).
+///
+/// Returns 0.0 for branch-free loops.
+pub fn loop_irregularity(
+    module: &Module,
+    func: FuncId,
+    loop_id: LoopId,
+    inst_counts: &[u64],
+    branch_taken: &[u64],
+) -> f64 {
+    let function = module.function(func);
+    let forest = vectorscope_ir::loops::LoopForest::new(function);
+    let l = forest.get(loop_id);
+    // Header blocks of *any* loop in the function hold exit tests.
+    let headers: HashSet<_> = forest.loops().iter().map(|x| x.header).collect();
+
+    let mut weighted = 0.0;
+    let mut weight = 0.0;
+    for &b in &l.blocks {
+        if headers.contains(&b) {
+            continue;
+        }
+        let Some(term) = &function.block(b).term else {
+            continue;
+        };
+        if !matches!(term.kind, TermKind::CondBr { .. }) {
+            continue;
+        }
+        let idx = term.id.index();
+        let total = inst_counts.get(idx).copied().unwrap_or(0);
+        if total == 0 {
+            continue;
+        }
+        let taken = branch_taken.get(idx).copied().unwrap_or(0);
+        let p = taken as f64 / total as f64;
+        weighted += entropy(p) * total as f64;
+        weight += total as f64;
+    }
+    if weight == 0.0 {
+        0.0
+    } else {
+        weighted / weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorscope_interp::Vm;
+
+    fn irregularity_of(src: &str, func_name: &str) -> f64 {
+        let module = vectorscope_frontend::compile("c.kern", src).unwrap();
+        let mut vm = Vm::new(&module);
+        vm.run_main().unwrap();
+        let func = module.lookup_function(func_name).unwrap();
+        let forest = vectorscope_ir::loops::LoopForest::new(module.function(func));
+        // Innermost loop with the most blocks (the interesting one).
+        let (loop_id, _) = forest
+            .iter()
+            .filter(|(_, l)| l.is_innermost())
+            .max_by_key(|(_, l)| l.blocks.len())
+            .expect("loop exists");
+        loop_irregularity(
+            &module,
+            func,
+            loop_id,
+            vm.inst_counts(),
+            vm.branch_taken(),
+        )
+    }
+
+    #[test]
+    fn branch_free_loop_is_perfectly_regular() {
+        let score = irregularity_of(
+            r#"
+            const int N = 32;
+            double a[N];
+            void main() {
+                for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+            }
+        "#,
+            "main",
+        );
+        assert_eq!(score, 0.0);
+    }
+
+    #[test]
+    fn biased_boundary_test_is_nearly_regular() {
+        // The PDE pattern: the boundary branch fires on a thin O(1/N)
+        // fraction of iterations.
+        let score = irregularity_of(
+            r#"
+            const int N = 64;
+            double a[N][N];
+            void main() {
+                for (int j = 0; j < N; j++) {
+                    for (int i = 0; i < N; i++) {
+                        if (i == 0 || j == 0 || i == N - 1 || j == N - 1) {
+                            a[j][i] = 0.0;
+                        } else {
+                            a[j][i] = a[j][i] * 0.5 + 1.0;
+                        }
+                    }
+                }
+            }
+        "#,
+            "main",
+        );
+        assert!(score > 0.0, "boundary test is data-dependent");
+        assert!(score < 0.45, "but heavily biased: {score}");
+    }
+
+    #[test]
+    fn coin_flip_branching_is_irregular() {
+        let score = irregularity_of(
+            r#"
+            const int N = 64;
+            double a[N];
+            double rnd(int k) {
+                int h = (k * 1103515245 + 12345) % 100000;
+                if (h < 0) { h = -h; }
+                return (double)h * 0.00001;
+            }
+            void main() {
+                for (int i = 0; i < N; i++) { a[i] = rnd(i); }
+                for (int i = 0; i < N; i++) {
+                    if (a[i] > 0.5) {
+                        a[i] = a[i] * 2.0;
+                    } else {
+                        a[i] = a[i] + 3.0;
+                    }
+                }
+            }
+        "#,
+            "main",
+        );
+        assert!(score > 0.8, "near-uniform branch: {score}");
+    }
+
+    #[test]
+    fn entropy_shape() {
+        assert_eq!(entropy(0.0), 0.0);
+        assert_eq!(entropy(1.0), 0.0);
+        assert!((entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!(entropy(0.1) < entropy(0.3));
+    }
+}

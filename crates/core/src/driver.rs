@@ -1,0 +1,451 @@
+//! End-to-end driver: source → hot loops → sub-traces → reports.
+
+use crate::metrics::{analyze_ddg, MetricOptions};
+use crate::report::LoopReport;
+use vectorscope_ddg::{CandidatePolicy, Ddg};
+use vectorscope_frontend::CompileError;
+use vectorscope_interp::{CaptureSpec, Vm, VmError, VmOptions};
+use vectorscope_ir::loops::LoopId;
+use vectorscope_ir::{FuncId, Module};
+
+/// Any failure of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Kern compilation failed.
+    Compile(CompileError),
+    /// Program execution failed.
+    Vm(VmError),
+    /// The requested loop produced no trace (never entered).
+    EmptyTrace {
+        /// The loop's function.
+        func: String,
+        /// The loop's source line.
+        line: u32,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Vm(e) => write!(f, "execution error: {e}"),
+            Error::EmptyTrace { func, line } => {
+                write!(f, "loop {func}:{line} was never entered; no trace captured")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Vm(e) => Some(e),
+            Error::EmptyTrace { .. } => None,
+        }
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Self {
+        Error::Compile(e)
+    }
+}
+
+impl From<VmError> for Error {
+    fn from(e: VmError) -> Self {
+        Error::Vm(e)
+    }
+}
+
+/// How to pick the dynamic loop instance whose sub-trace is analyzed.
+///
+/// The paper "randomly chose several instances of the loop, analyzed each
+/// corresponding subtrace ... and chose one representative subtrace". A
+/// fixed instance can be unrepresentative — e.g. the first instance of the
+/// PDE solver's inner loop runs entirely on the domain boundary and
+/// executes no floating-point work at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstancePick {
+    /// A specific instance (clamped to the number observed).
+    Index(u64),
+    /// Sample this many instances spread over the run and keep the one
+    /// with the most candidate (FP) operations.
+    Representative(u64),
+}
+
+/// Options for the end-to-end analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisOptions {
+    /// Minimum share of total cycles for a loop to be analyzed (the paper
+    /// uses 10%; its extended study drops to 5%).
+    pub hot_threshold_pct: f64,
+    /// Which dynamic loop instance to capture.
+    pub loop_instance: InstancePick,
+    /// Break detected reduction chains before partitioning (the paper's
+    /// proposed extension; off by default to match the published tables).
+    pub break_reductions: bool,
+    /// Also characterize integer add/sub/mul/div (the paper's §4
+    /// generalization; off by default — the published tables are FP-only).
+    pub include_integer_ops: bool,
+    /// VM instruction budget per run.
+    pub fuel: u64,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            hot_threshold_pct: 10.0,
+            loop_instance: InstancePick::Representative(4),
+            break_reductions: false,
+            include_integer_ops: false,
+            fuel: 2_000_000_000,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    fn vm_options(&self) -> VmOptions {
+        VmOptions {
+            fuel: self.fuel,
+            ..VmOptions::default()
+        }
+    }
+
+    fn metric_options(&self) -> MetricOptions {
+        MetricOptions {
+            break_reductions: self.break_reductions,
+        }
+    }
+
+    fn candidate_policy(&self) -> CandidatePolicy {
+        if self.include_integer_ops {
+            CandidatePolicy::IntAndFloatArith
+        } else {
+            CandidatePolicy::FloatArith
+        }
+    }
+}
+
+/// The output of [`analyze_source`]: the compiled module and one report per
+/// hot loop (sorted by percent of cycles, descending).
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// The compiled module (kept so callers can attach Percent Packed from
+    /// a vectorizer model, or inspect instructions).
+    pub module: Module,
+    /// Hot-loop reports.
+    pub loops: Vec<LoopReport>,
+}
+
+/// The output of [`analyze_loop`]: the report plus the analyzed DDG.
+#[derive(Debug, Clone)]
+pub struct LoopAnalysis {
+    /// The loop's report row.
+    pub report: LoopReport,
+    /// The DDG of the captured sub-trace (for further inspection).
+    pub ddg: Ddg,
+}
+
+/// The output of [`analyze_program`]: whole-run metrics.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Aggregated table metrics over the whole run.
+    pub metrics: crate::metrics::LoopMetrics,
+    /// Per-instruction breakdown.
+    pub per_inst: Vec<crate::metrics::InstMetrics>,
+    /// The whole-run DDG.
+    pub ddg: Ddg,
+}
+
+/// Captures and analyzes the entire execution of `main` (used for
+/// whole-benchmark rows like the paper's Table 3, where one number
+/// characterizes the whole kernel rather than a single loop).
+///
+/// # Errors
+///
+/// Returns [`Error::Vm`] if execution fails.
+pub fn analyze_program(
+    module: &Module,
+    options: &AnalysisOptions,
+) -> Result<ProgramAnalysis, Error> {
+    let mut vm = Vm::with_options(module, options.vm_options());
+    vm.set_capture(CaptureSpec::Program, module.name());
+    vm.run_main()?;
+    let trace = vm.take_trace().expect("capture was armed");
+    let ddg = Ddg::build_with_policy(module, &trace, options.candidate_policy());
+    let (metrics, per_inst) = analyze_ddg(module, &ddg, &options.metric_options());
+    Ok(ProgramAnalysis {
+        metrics,
+        per_inst,
+        ddg,
+    })
+}
+
+/// Compiles `source`, profiles a full run of `main`, selects hot loops
+/// (≥ `hot_threshold_pct` of cycles, the paper's §4.1 rule), captures one
+/// sub-trace per hot loop, and analyzes each.
+///
+/// # Errors
+///
+/// Returns [`Error::Compile`] for invalid source and [`Error::Vm`] if any
+/// run traps or exhausts its budget.
+pub fn analyze_source(
+    name: &str,
+    source: &str,
+    options: &AnalysisOptions,
+) -> Result<SuiteReport, Error> {
+    let module = vectorscope_frontend::compile(name, source)?;
+
+    // Profiling run.
+    let mut vm = Vm::with_options(&module, options.vm_options());
+    vm.run_main()?;
+    let hot = vm
+        .profiler()
+        .hot_loops(&module, vm.forests(), options.hot_threshold_pct);
+    let inst_counts = vm.inst_counts().to_vec();
+    let branch_taken = vm.branch_taken().to_vec();
+
+    let mut loops = Vec::new();
+    for h in &hot {
+        let mut analysis = analyze_loop_inner(
+            &module,
+            h.profile.key.func,
+            h.profile.key.loop_id,
+            options,
+            h.profile.percent,
+            h.profile.entries,
+        )?;
+        analysis.report.control_irregularity = crate::control::loop_irregularity(
+            &module,
+            h.profile.key.func,
+            h.profile.key.loop_id,
+            &inst_counts,
+            &branch_taken,
+        );
+        loops.push(analysis.report);
+    }
+    loops.sort_by(|a, b| {
+        b.percent_cycles
+            .partial_cmp(&a.percent_cycles)
+            .expect("percentages are finite")
+    });
+    Ok(SuiteReport { module, loops })
+}
+
+/// Captures and analyzes one dynamic instance of one loop of `module`.
+///
+/// Runs a profiling pass first so the report's *Percent Cycles* is filled
+/// in.
+///
+/// # Errors
+///
+/// Returns [`Error::Vm`] if execution fails and [`Error::EmptyTrace`] if
+/// the loop is never entered.
+pub fn analyze_loop(
+    module: &Module,
+    func: FuncId,
+    loop_id: LoopId,
+    options: &AnalysisOptions,
+) -> Result<LoopAnalysis, Error> {
+    let mut vm = Vm::with_options(module, options.vm_options());
+    vm.run_main()?;
+    let profiles = vm.profiler().profiles(module, vm.forests());
+    let (percent, entries) = profiles
+        .iter()
+        .find(|p| p.key.func == func && p.key.loop_id == loop_id)
+        .map(|p| (p.percent, p.entries))
+        .unwrap_or((0.0, 0));
+    let mut analysis = analyze_loop_inner(module, func, loop_id, options, percent, entries)?;
+    analysis.report.control_irregularity = crate::control::loop_irregularity(
+        module,
+        func,
+        loop_id,
+        vm.inst_counts(),
+        vm.branch_taken(),
+    );
+    Ok(analysis)
+}
+
+fn capture_instance(
+    module: &Module,
+    func: FuncId,
+    loop_id: LoopId,
+    options: &AnalysisOptions,
+    instance: u64,
+    label: &str,
+) -> Result<vectorscope_trace::Trace, Error> {
+    let mut vm = Vm::with_options(module, options.vm_options());
+    vm.set_capture(
+        CaptureSpec::Loop {
+            func,
+            loop_id,
+            instance,
+        },
+        label,
+    );
+    vm.run_main()?;
+    Ok(vm.take_trace().expect("capture was armed"))
+}
+
+fn analyze_loop_inner(
+    module: &Module,
+    func: FuncId,
+    loop_id: LoopId,
+    options: &AnalysisOptions,
+    percent_cycles: f64,
+    entries: u64,
+) -> Result<LoopAnalysis, Error> {
+    let function = module.function(func);
+    let forest = vectorscope_ir::loops::LoopForest::new(function);
+    let line = forest.span_of(function, loop_id).line;
+    let label = format!("{}:{}", function.name(), line);
+
+    let clamp = |i: u64| {
+        if entries == 0 {
+            i
+        } else {
+            i.min(entries - 1)
+        }
+    };
+    // Instances to try, per the sampling policy.
+    let candidates: Vec<u64> = match options.loop_instance {
+        InstancePick::Index(i) => vec![clamp(i)],
+        InstancePick::Representative(k) => {
+            let k = k.max(1);
+            let n = entries.max(1);
+            let mut v: Vec<u64> = (0..k).map(|s| clamp(s * n / k)).collect();
+            v.dedup();
+            v
+        }
+    };
+
+    // Analyze each sampled instance; keep the one with the most candidate
+    // operations (the paper's "representative subtrace").
+    let mut best: Option<(Ddg, crate::metrics::LoopMetrics, Vec<crate::metrics::InstMetrics>)> =
+        None;
+    for instance in candidates {
+        let trace = capture_instance(module, func, loop_id, options, instance, &label)?;
+        if trace.is_empty() {
+            continue;
+        }
+        let ddg = Ddg::build_with_policy(module, &trace, options.candidate_policy());
+        let (metrics, per_inst) = analyze_ddg(module, &ddg, &options.metric_options());
+        let better = match &best {
+            None => true,
+            Some((_, m, _)) => metrics.total_ops > m.total_ops,
+        };
+        if better {
+            best = Some((ddg, metrics, per_inst));
+        }
+    }
+    let Some((ddg, metrics, per_inst)) = best else {
+        return Err(Error::EmptyTrace {
+            func: function.name().to_string(),
+            line,
+        });
+    };
+    let report = LoopReport {
+        module_name: module.name().to_string(),
+        func_name: function.name().to_string(),
+        func,
+        loop_id,
+        loop_line: line,
+        percent_cycles,
+        percent_packed: None,
+        control_irregularity: 0.0,
+        metrics,
+        per_inst,
+        ddg_nodes: ddg.len(),
+    };
+    Ok(LoopAnalysis { report, ddg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_vectorizable_loop() {
+        let src = r#"
+            const int N = 64;
+            double a[N]; double b[N];
+            void main() {
+                for (int i = 0; i < N; i++) { b[i] = (double)i; }
+                for (int i = 0; i < N; i++) { a[i] = b[i] * 2.0; }
+            }
+        "#;
+        let suite = analyze_source("v.kern", src, &AnalysisOptions::default()).unwrap();
+        assert!(!suite.loops.is_empty());
+        // The multiply loop must be a hot loop with near-total unit-stride
+        // vectorizability.
+        let best = suite
+            .loops
+            .iter()
+            .max_by(|a, b| {
+                a.metrics
+                    .pct_unit_vec_ops
+                    .partial_cmp(&b.metrics.pct_unit_vec_ops)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(best.metrics.pct_unit_vec_ops > 99.0);
+        assert!(best.percent_cycles >= 10.0);
+    }
+
+    #[test]
+    fn compile_errors_are_propagated() {
+        let err = analyze_source("bad.kern", "void main( {", &AnalysisOptions::default());
+        assert!(matches!(err, Err(Error::Compile(_))));
+    }
+
+    #[test]
+    fn trap_is_propagated() {
+        let src = "int z = 0; int o = 0; void main() { o = 1 / z; }";
+        let err = analyze_source("trap.kern", src, &AnalysisOptions::default());
+        assert!(matches!(err, Err(Error::Vm(_))));
+    }
+
+    #[test]
+    fn analyze_specific_loop() {
+        let src = r#"
+            const int N = 16;
+            double a[N];
+            void main() {
+                for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+            }
+        "#;
+        let module = vectorscope_frontend::compile("one.kern", src).unwrap();
+        let main = module.lookup_function("main").unwrap();
+        let forest =
+            vectorscope_ir::loops::LoopForest::new(module.function(main));
+        let (loop_id, _) = forest.iter().next().unwrap();
+        let analysis =
+            analyze_loop(&module, main, loop_id, &AnalysisOptions::default()).unwrap();
+        assert_eq!(analysis.report.metrics.total_ops, 16);
+        assert!(analysis.report.percent_cycles > 0.0);
+        assert!(analysis.ddg.len() > 16);
+    }
+
+    #[test]
+    fn loop_instance_clamped() {
+        let src = r#"
+            const int N = 8;
+            double a[N];
+            void main() {
+                for (int r = 0; r < 2; r++)
+                    for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+            }
+        "#;
+        let module = vectorscope_frontend::compile("cl.kern", src).unwrap();
+        let main = module.lookup_function("main").unwrap();
+        let forest = vectorscope_ir::loops::LoopForest::new(module.function(main));
+        let (inner, _) = forest.iter().find(|(_, l)| l.is_innermost()).unwrap();
+        let options = AnalysisOptions {
+            loop_instance: InstancePick::Index(99), // clamps to the last of 2
+            ..AnalysisOptions::default()
+        };
+        let analysis = analyze_loop(&module, main, inner, &options).unwrap();
+        assert_eq!(analysis.report.metrics.total_ops, 8);
+    }
+}

@@ -1,0 +1,151 @@
+//! Minimal JSON export of analysis reports (for dashboards and tooling).
+//!
+//! The paper pitches the tool for "characterization of code bases" — ISVs
+//! running it "through large existing code bases" (§1). That workflow wants
+//! machine-readable output; this module renders reports as JSON with a
+//! small hand-rolled writer (the repository's dependency policy excludes
+//! serde format crates).
+
+use crate::metrics::{InstMetrics, LoopMetrics};
+use crate::report::LoopReport;
+use std::fmt::Write;
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite float (JSON has no NaN/Inf; those become null).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn metrics_json(m: &LoopMetrics) -> String {
+    let buckets: Vec<String> = m.vec_lengths.buckets.iter().map(|b| b.to_string()).collect();
+    format!(
+        "{{\"total_ops\":{},\"avg_concurrency\":{},\"pct_unit_vec_ops\":{},\
+         \"avg_unit_vec_size\":{},\"pct_non_unit_vec_ops\":{},\"avg_non_unit_vec_size\":{},\
+         \"vec_length_buckets\":[{}],\"gpu_share\":{}}}",
+        m.total_ops,
+        num(m.avg_concurrency),
+        num(m.pct_unit_vec_ops),
+        num(m.avg_unit_vec_size),
+        num(m.pct_non_unit_vec_ops),
+        num(m.avg_non_unit_vec_size),
+        buckets.join(","),
+        num(m.vec_lengths.gpu_share()),
+    )
+}
+
+fn inst_json(m: &InstMetrics) -> String {
+    format!(
+        "{{\"inst\":{},\"line\":{},\"instances\":{},\"partitions\":{},\
+         \"avg_partition_size\":{},\"unit_ops\":{},\"non_unit_ops\":{},\"reduction\":{}}}",
+        m.inst.0,
+        m.span.line,
+        m.instances,
+        m.partitions,
+        num(m.avg_partition_size),
+        m.unit_ops,
+        m.non_unit_ops,
+        m.reduction,
+    )
+}
+
+/// Renders one loop report as a JSON object.
+pub fn loop_report_json(r: &LoopReport) -> String {
+    let insts: Vec<String> = r.per_inst.iter().map(inst_json).collect();
+    format!(
+        "{{\"module\":\"{}\",\"function\":\"{}\",\"line\":{},\"percent_cycles\":{},\
+         \"percent_packed\":{},\"control_irregularity\":{},\"ddg_nodes\":{},\
+         \"metrics\":{},\"instructions\":[{}]}}",
+        escape(&r.module_name),
+        escape(&r.func_name),
+        r.loop_line,
+        num(r.percent_cycles),
+        r.percent_packed.map(num).unwrap_or_else(|| "null".into()),
+        num(r.control_irregularity),
+        r.ddg_nodes,
+        metrics_json(&r.metrics),
+        insts.join(","),
+    )
+}
+
+/// Renders a whole suite of loop reports as a JSON array.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope::{analyze_source, AnalysisOptions, json::suite_json};
+/// let src = r#"
+///     const int N = 64;
+///     double a[N];
+///     void main() { for (int i = 0; i < N; i++) { a[i] = a[i] * 2.0; } }
+/// "#;
+/// let suite = analyze_source("j.kern", src, &AnalysisOptions::default())?;
+/// let json = suite_json(&suite.loops);
+/// assert!(json.starts_with('['));
+/// assert!(json.contains("\"percent_cycles\""));
+/// # Ok::<(), vectorscope::Error>(())
+/// ```
+pub fn suite_json(reports: &[LoopReport]) -> String {
+    let rows: Vec<String> = reports.iter().map(loop_report_json).collect();
+    format!("[{}]", rows.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_source, AnalysisOptions};
+
+    #[test]
+    fn escapes_special_characters() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_becomes_null() {
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(1.5), "1.5");
+    }
+
+    #[test]
+    fn real_report_is_structurally_sound() {
+        let src = r#"
+            const int N = 32;
+            double a[N];
+            void main() { for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; } }
+        "#;
+        let suite = analyze_source("json.kern", src, &AnalysisOptions::default()).unwrap();
+        let json = suite_json(&suite.loops);
+        // Braces and brackets balance.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"function\":\"main\""));
+        assert!(json.contains("\"gpu_share\""));
+        // No stray NaN/inf tokens.
+        assert!(!json.contains("NaN"));
+        assert!(!json.contains("inf"));
+    }
+}

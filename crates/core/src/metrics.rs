@@ -1,0 +1,367 @@
+//! The paper's evaluation metrics, per static instruction and per loop.
+//!
+//! Columns of Tables 1–3 and how they are computed here:
+//!
+//! * **Average Concurrency** — mean parallel-partition size over *all*
+//!   partitions of *all* FP candidate instructions in the analyzed DDG,
+//!   singleton partitions included (§4.1).
+//! * **Percent Vec. Ops (unit)** — instances belonging to non-singleton
+//!   unit/zero-stride subpartitions, as a percentage of all candidate
+//!   instances in the DDG.
+//! * **Average Vec. Size (unit)** — mean size of those non-singleton
+//!   unit-stride subpartitions.
+//! * **Percent/Average (non-unit)** — same two metrics over the non-unit
+//!   constant-stride subpartitions formed from leftover singletons (§3.3).
+//!
+//! **Percent Packed** (what the real compiler vectorized) is not computed
+//! here — it comes from the model auto-vectorizer in `vectorscope-autovec`
+//! and is attached to reports by the caller, mirroring how the paper takes
+//! that column from HPCToolkit measurements of icc-compiled binaries.
+
+use crate::partition::partition;
+use crate::reduction::reduction_chains;
+use crate::stride::{analyze_partition, StrideReport};
+use std::collections::HashSet;
+use vectorscope_ddg::Ddg;
+use vectorscope_ir::{InstId, Module, Span};
+
+/// Metrics for one static candidate instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstMetrics {
+    /// The instruction.
+    pub inst: InstId,
+    /// Its source span.
+    pub span: Span,
+    /// Dynamic instances analyzed.
+    pub instances: u64,
+    /// Number of parallel partitions (distinct timestamps).
+    pub partitions: u64,
+    /// Mean partition size (this instruction's available parallelism).
+    pub avg_partition_size: f64,
+    /// Instances in non-singleton unit-stride subpartitions.
+    pub unit_ops: u64,
+    /// Number of non-singleton unit-stride subpartitions.
+    pub unit_subparts: u64,
+    /// Instances in non-singleton non-unit-stride subpartitions.
+    pub non_unit_ops: u64,
+    /// Number of non-singleton non-unit-stride subpartitions.
+    pub non_unit_subparts: u64,
+    /// Whether the instruction was classified (and broken) as a reduction.
+    pub reduction: bool,
+}
+
+/// Aggregated metrics over all candidate instructions of one DDG — one row
+/// of the paper's tables.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoopMetrics {
+    /// Total dynamic FP candidate operations.
+    pub total_ops: u64,
+    /// Average Concurrency (mean partition size across all partitions of
+    /// all candidates).
+    pub avg_concurrency: f64,
+    /// Percent Vec. Ops at unit/zero stride.
+    pub pct_unit_vec_ops: f64,
+    /// Average Vec. Size at unit/zero stride.
+    pub avg_unit_vec_size: f64,
+    /// Percent Vec. Ops at non-unit constant stride.
+    pub pct_non_unit_vec_ops: f64,
+    /// Average Vec. Size at non-unit constant stride.
+    pub avg_non_unit_vec_size: f64,
+    /// Distribution of unit-stride vectorizable group sizes.
+    pub vec_lengths: VecLengthHistogram,
+}
+
+/// Histogram of unit-stride subpartition sizes in power-of-two buckets.
+///
+/// The paper's introduction names this use case explicitly: "the
+/// quantitative information on average vector lengths can be useful in
+/// assessing the potential benefit of converting the code to use GPUs
+/// (where much higher degree of SIMD parallelism is needed than with
+/// short-vector SIMD ISAs)". Short-vector ISAs are happy with groups of
+/// 2–8; a GPU warp wants ≥ 32.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VecLengthHistogram {
+    /// `buckets[k]` counts the *operations* in unit-stride subpartitions of
+    /// size in `[2^(k+1), 2^(k+2))`, i.e. bucket 0 = sizes 2–3, bucket 1 =
+    /// 4–7, ..., bucket 9 = 2048–4095; larger sizes saturate into the last
+    /// bucket.
+    pub buckets: [u64; 10],
+}
+
+impl VecLengthHistogram {
+    fn record(&mut self, size: usize) {
+        debug_assert!(size >= 2);
+        let k = (usize::BITS - 1 - size.leading_zeros()) as usize; // floor(log2)
+        let bucket = (k - 1).min(self.buckets.len() - 1);
+        self.buckets[bucket] += size as u64;
+    }
+
+    /// Total operations recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Share of vectorizable operations in groups of at least `min_size`
+    /// (e.g. 32 for a GPU warp), in [0, 1]. Bucket granularity: the share
+    /// is computed over whole buckets, using each bucket's lower bound.
+    pub fn share_at_least(&self, min_size: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let from = if min_size < 4 {
+            0
+        } else {
+            ((usize::BITS - 1 - min_size.leading_zeros()) as usize - 1)
+                .min(self.buckets.len() - 1)
+        };
+        let big: u64 = self.buckets[from..].iter().sum();
+        big as f64 / total as f64
+    }
+
+    /// A coarse verdict for GPU offload potential: the share of
+    /// vectorizable ops in warp-sized (≥ 32) groups.
+    pub fn gpu_share(&self) -> f64 {
+        self.share_at_least(32)
+    }
+}
+
+/// Options controlling the DDG analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub struct MetricOptions {
+    /// Detect reduction chains and break their self-dependences before
+    /// partitioning (the paper's proposed extension; off by default to
+    /// match the published tables).
+    pub break_reductions: bool,
+}
+
+
+/// Runs the full per-instruction analysis over one DDG and aggregates the
+/// paper's table metrics.
+///
+/// Returns the aggregate row plus the per-instruction breakdown (sorted by
+/// instance count, descending).
+pub fn analyze_ddg(
+    module: &Module,
+    ddg: &Ddg,
+    options: &MetricOptions,
+) -> (LoopMetrics, Vec<InstMetrics>) {
+    let reductions = if options.break_reductions {
+        reduction_chains(module, ddg)
+    } else {
+        Vec::new()
+    };
+    let empty: HashSet<u32> = HashSet::new();
+
+    let mut per_inst = Vec::new();
+    let mut vec_lengths = VecLengthHistogram::default();
+    let mut total_ops = 0u64;
+    let mut total_partitions = 0u64;
+    let mut unit_ops = 0u64;
+    let mut unit_subparts = 0u64;
+    let mut non_unit_ops = 0u64;
+    let mut non_unit_subparts = 0u64;
+
+    for inst in ddg.candidate_insts() {
+        let chain = reductions.iter().find(|c| c.inst == inst);
+        let ignore = chain.map(|c| &c.chain_nodes).unwrap_or(&empty);
+        let parts = partition(ddg, inst, ignore);
+        let elem = ddg.elem_size(inst);
+
+        let mut m = InstMetrics {
+            inst,
+            span: module.span_of(inst),
+            instances: parts.num_instances() as u64,
+            partitions: parts.groups.len() as u64,
+            avg_partition_size: parts.average_size(),
+            unit_ops: 0,
+            unit_subparts: 0,
+            non_unit_ops: 0,
+            non_unit_subparts: 0,
+            reduction: chain.is_some(),
+        };
+        for group in &parts.groups {
+            let report: StrideReport = analyze_partition(ddg, group, elem);
+            m.unit_ops += report.unit_ops() as u64;
+            m.unit_subparts += report.unit.len() as u64;
+            m.non_unit_ops += report.non_unit_ops() as u64;
+            m.non_unit_subparts += report.non_unit.len() as u64;
+            for sub in &report.unit {
+                vec_lengths.record(sub.len());
+            }
+        }
+
+        total_ops += m.instances;
+        total_partitions += m.partitions;
+        unit_ops += m.unit_ops;
+        unit_subparts += m.unit_subparts;
+        non_unit_ops += m.non_unit_ops;
+        non_unit_subparts += m.non_unit_subparts;
+        per_inst.push(m);
+    }
+    per_inst.sort_by_key(|m| std::cmp::Reverse(m.instances));
+
+    let pct = |x: u64| {
+        if total_ops == 0 {
+            0.0
+        } else {
+            x as f64 * 100.0 / total_ops as f64
+        }
+    };
+    let avg = |ops: u64, parts: u64| {
+        if parts == 0 {
+            0.0
+        } else {
+            ops as f64 / parts as f64
+        }
+    };
+    let metrics = LoopMetrics {
+        total_ops,
+        avg_concurrency: if total_partitions == 0 {
+            0.0
+        } else {
+            total_ops as f64 / total_partitions as f64
+        },
+        pct_unit_vec_ops: pct(unit_ops),
+        avg_unit_vec_size: avg(unit_ops, unit_subparts),
+        pct_non_unit_vec_ops: pct(non_unit_ops),
+        avg_non_unit_vec_size: avg(non_unit_ops, non_unit_subparts),
+        vec_lengths,
+    };
+    (metrics, per_inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorscope_interp::{CaptureSpec, Vm};
+
+    fn metrics_of(src: &str, options: &MetricOptions) -> (LoopMetrics, Vec<InstMetrics>) {
+        let module = vectorscope_frontend::compile("t.kern", src).unwrap();
+        let mut vm = Vm::new(&module);
+        vm.set_capture(CaptureSpec::Program, "all");
+        vm.run_main().unwrap();
+        let trace = vm.take_trace().unwrap();
+        let ddg = Ddg::build(&module, &trace);
+        analyze_ddg(&module, &ddg, options)
+    }
+
+    #[test]
+    fn fully_vectorizable_loop() {
+        let (m, per) = metrics_of(
+            r#"
+            const int N = 32;
+            double a[N]; double b[N]; double c[N];
+            void main() {
+                for (int i = 0; i < N; i++) { b[i] = 1.0; c[i] = 2.0; }
+                for (int i = 0; i < N; i++) { a[i] = b[i] * c[i]; }
+            }
+        "#,
+            &MetricOptions::default(),
+        );
+        assert_eq!(m.total_ops, 32);
+        assert_eq!(m.avg_concurrency, 32.0);
+        assert!((m.pct_unit_vec_ops - 100.0).abs() < 1e-9);
+        assert_eq!(m.avg_unit_vec_size, 32.0);
+        assert_eq!(m.pct_non_unit_vec_ops, 0.0);
+        assert_eq!(per.len(), 1);
+        assert!(!per[0].reduction);
+        // All 32 ops sit in one size-32 group: bucket 4 (32..63), and the
+        // loop is warp-suitable.
+        assert_eq!(m.vec_lengths.total(), 32);
+        assert_eq!(m.vec_lengths.buckets[4], 32);
+        assert_eq!(m.vec_lengths.gpu_share(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_shares() {
+        let mut h = VecLengthHistogram::default();
+        h.record(2);   // bucket 0
+        h.record(3);   // bucket 0
+        h.record(8);   // bucket 2
+        h.record(100); // bucket 5 (64..127)
+        assert_eq!(h.buckets[0], 5);
+        assert_eq!(h.buckets[2], 8);
+        assert_eq!(h.buckets[5], 100);
+        assert_eq!(h.total(), 113);
+        assert!((h.gpu_share() - 100.0 / 113.0).abs() < 1e-12);
+        assert_eq!(h.share_at_least(2), 1.0);
+        // Saturation: enormous groups land in the last bucket.
+        h.record(1 << 20);
+        assert_eq!(h.buckets[9], 1 << 20);
+    }
+
+    #[test]
+    fn serial_chain_has_no_vector_ops() {
+        let (m, _) = metrics_of(
+            r#"
+            const int N = 32;
+            double a[N];
+            void main() {
+                a[0] = 1.0;
+                for (int i = 1; i < N; i++) { a[i] = 2.0 * a[i-1]; }
+            }
+        "#,
+            &MetricOptions::default(),
+        );
+        assert_eq!(m.avg_concurrency, 1.0);
+        assert_eq!(m.pct_unit_vec_ops, 0.0);
+        assert_eq!(m.pct_non_unit_vec_ops, 0.0);
+    }
+
+    #[test]
+    fn aos_traversal_shows_non_unit_potential() {
+        // Array of structs: independent ops at stride 16 — the milc
+        // pattern. Unit-stride zero, non-unit high.
+        let (m, _) = metrics_of(
+            r#"
+            struct complex { double r; double i; };
+            const int N = 16;
+            complex z[N]; double out[N];
+            void main() {
+                for (int k = 0; k < N; k++) { z[k].r = 1.0; z[k].i = 2.0; }
+                for (int k = 0; k < N; k++) { out[k] = z[k].r * 3.0; }
+            }
+        "#,
+            &MetricOptions::default(),
+        );
+        assert!(m.pct_non_unit_vec_ops > 30.0, "{m:?}");
+    }
+
+    #[test]
+    fn reduction_breaking_changes_the_verdict() {
+        let src = r#"
+            const int N = 16;
+            double a[N]; double s = 0.0;
+            void main() {
+                for (int i = 0; i < N; i++) { a[i] = 1.0; }
+                double acc = 0.0;
+                for (int i = 0; i < N; i++) { acc += a[i]; }
+                s = acc;
+            }
+        "#;
+        let (base, per_base) = metrics_of(src, &MetricOptions::default());
+        // The accumulation serializes: concurrency 1 for that instruction.
+        let acc_inst = per_base.iter().find(|m| m.partitions > 1).unwrap();
+        assert_eq!(acc_inst.avg_partition_size, 1.0);
+
+        let (broken, per_broken) = metrics_of(
+            src,
+            &MetricOptions {
+                break_reductions: true,
+            },
+        );
+        let acc_broken = per_broken.iter().find(|m| m.reduction).unwrap();
+        assert_eq!(acc_broken.partitions, 1);
+        assert!(broken.pct_unit_vec_ops > base.pct_unit_vec_ops);
+    }
+
+    #[test]
+    fn empty_program_yields_zeroes() {
+        let (m, per) = metrics_of("void main() { }", &MetricOptions::default());
+        assert_eq!(m.total_ops, 0);
+        assert_eq!(m.avg_concurrency, 0.0);
+        assert!(per.is_empty());
+    }
+}

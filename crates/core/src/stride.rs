@@ -1,0 +1,490 @@
+//! Contiguous-access subpartitioning (paper §3.2) and non-unit
+//! constant-stride regrouping (paper §3.3).
+//!
+//! Independence alone is not enough for profitable SIMD execution: the
+//! grouped operations must also access memory contiguously, or gathering
+//! elements into vector registers erases the benefit. Given one parallel
+//! partition (mutually independent instances of one static instruction),
+//! [`unit_stride`] sorts the instances by their operand *address tuples*
+//! and splits them into maximal runs in which every operand advances by
+//! either 0 bytes (a splat/constant — cheap on all SIMD ISAs) or exactly
+//! the element size, with the stride pattern constant across the run.
+//!
+//! Instances left in singleton subpartitions are then offered to
+//! [`non_unit_stride`], which relaxes "0 or element size" to *any* fixed
+//! stride using the paper's wait-list scan. Large non-unit groups signal
+//! that a data-layout transformation (array transposition, AoS→SoA) would
+//! unlock vectorization — the basis of the milc and bwaves case studies.
+
+use vectorscope_ddg::Ddg;
+
+/// Subpartitioning outcome for one parallel partition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StrideReport {
+    /// Unit/zero-stride subpartitions of size ≥ 2 (potentially vectorizable
+    /// ops), each in sorted address order.
+    pub unit: Vec<Vec<u32>>,
+    /// Non-unit constant-stride subpartitions of size ≥ 2 formed from the
+    /// leftover singletons (data-layout-transformation potential).
+    pub non_unit: Vec<Vec<u32>>,
+    /// Instances vectorizable in neither mode.
+    pub singletons: Vec<u32>,
+}
+
+impl StrideReport {
+    /// Number of ops in non-singleton unit-stride subpartitions.
+    pub fn unit_ops(&self) -> usize {
+        self.unit.iter().map(Vec::len).sum()
+    }
+
+    /// Number of ops in non-singleton non-unit-stride subpartitions.
+    pub fn non_unit_ops(&self) -> usize {
+        self.non_unit.iter().map(Vec::len).sum()
+    }
+
+    /// Average size of unit-stride subpartitions (0.0 when none).
+    pub fn avg_unit_size(&self) -> f64 {
+        if self.unit.is_empty() {
+            0.0
+        } else {
+            self.unit_ops() as f64 / self.unit.len() as f64
+        }
+    }
+
+    /// Average size of non-unit-stride subpartitions (0.0 when none).
+    pub fn avg_non_unit_size(&self) -> f64 {
+        if self.non_unit.is_empty() {
+            0.0
+        } else {
+            self.non_unit_ops() as f64 / self.non_unit.len() as f64
+        }
+    }
+}
+
+/// Runs both stages on one parallel partition: unit-stride subpartitioning,
+/// then non-unit regrouping of the singletons.
+///
+/// `elem_size` is the byte size of the instruction's operand element type
+/// (see [`Ddg::elem_size`]).
+pub fn analyze_partition(ddg: &Ddg, partition: &[u32], elem_size: u64) -> StrideReport {
+    let subparts = unit_stride(ddg, partition, elem_size);
+    let mut report = StrideReport::default();
+    let mut leftovers = Vec::new();
+    for sp in subparts {
+        if sp.len() >= 2 {
+            report.unit.push(sp);
+        } else {
+            leftovers.extend(sp);
+        }
+    }
+    for sp in non_unit_stride(ddg, &leftovers) {
+        if sp.len() >= 2 {
+            report.non_unit.push(sp);
+        } else {
+            report.singletons.extend(sp);
+        }
+    }
+    report
+}
+
+/// Sorted address tuples for the instances, with original node ids.
+fn sorted_tuples(ddg: &Ddg, nodes: &[u32]) -> Vec<(Vec<u64>, u32)> {
+    let mut tuples: Vec<(Vec<u64>, u32)> = nodes
+        .iter()
+        .map(|&n| (ddg.operand_addrs(n), n))
+        .collect();
+    tuples.sort();
+    tuples
+}
+
+/// Splits one parallel partition into unit/zero-stride subpartitions
+/// (paper §3.2), singletons included.
+///
+/// Instances are sorted by operand address tuple and scanned; the current
+/// subpartition ends when a per-operand delta is neither 0 nor
+/// `elem_size`, or differs from the stride pattern already observed in the
+/// subpartition.
+pub fn unit_stride(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Vec<Vec<u32>> {
+    let tuples = sorted_tuples(ddg, partition);
+    let mut out: Vec<Vec<u32>> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    let mut current_tuple: Option<&Vec<u64>> = None;
+    let mut established: Option<Vec<u64>> = None;
+
+    for (tuple, node) in &tuples {
+        if let Some(prev) = current_tuple {
+            let delta: Option<Vec<u64>> = prev
+                .iter()
+                .zip(tuple)
+                .map(|(&a, &b)| b.checked_sub(a))
+                .collect();
+            let ok = match delta {
+                Some(d)
+                    if d.iter().all(|&x| x == 0 || x == elem_size)
+                        && established.as_ref().map(|e| *e == d).unwrap_or(true) =>
+                {
+                    established = Some(d);
+                    true
+                }
+                _ => false,
+            };
+            if ok {
+                current.push(*node);
+                current_tuple = Some(tuple);
+                continue;
+            }
+            out.push(std::mem::take(&mut current));
+            established = None;
+        }
+        current.push(*node);
+        current_tuple = Some(tuple);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Groups singleton instances at any fixed non-unit stride using the
+/// paper's wait-list scan (§3.3).
+///
+/// The instances (all of one static instruction and one timestamp) are
+/// sorted; a scan grows a subpartition with a constant per-operand stride,
+/// deferring mismatching instances to a wait list; the wait list is then
+/// re-scanned for the next subpartition until no instances remain.
+pub fn non_unit_stride(ddg: &Ddg, singletons: &[u32]) -> Vec<Vec<u32>> {
+    let mut pending = sorted_tuples(ddg, singletons);
+    let mut out = Vec::new();
+    while !pending.is_empty() {
+        let mut waitlist: Vec<(Vec<u64>, u32)> = Vec::new();
+        let mut current: Vec<u32> = Vec::new();
+        let mut prev_tuple: Option<&Vec<u64>> = None;
+        let mut established: Option<Vec<u64>> = None;
+        for (tuple, node) in &pending {
+            match prev_tuple {
+                None => {
+                    current.push(*node);
+                    prev_tuple = Some(tuple);
+                }
+                Some(prev) => {
+                    let delta: Option<Vec<u64>> = prev
+                        .iter()
+                        .zip(tuple)
+                        .map(|(&a, &b)| b.checked_sub(a))
+                        .collect();
+                    let ok = match &delta {
+                        Some(d) => match &established {
+                            Some(e) => e == d,
+                            // The first delta establishes the subpartition's
+                            // stride ("scanning based on the current
+                            // stride", §3.3).
+                            None => true,
+                        },
+                        None => false,
+                    };
+                    if ok {
+                        established = delta;
+                        current.push(*node);
+                        prev_tuple = Some(tuple);
+                    } else {
+                        waitlist.push((tuple.clone(), *node));
+                    }
+                }
+            }
+        }
+        out.push(current);
+        pending = waitlist;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorscope_ddg::{SyntheticClass, SyntheticNode, EXTERNAL};
+    use vectorscope_ir::InstId;
+
+    /// Builds a DDG with `n` candidate nodes whose two operands are loads at
+    /// the given addresses.
+    fn ddg_with_loads(addr_pairs: &[(u64, u64)]) -> (Ddg, Vec<u32>) {
+        let mut nodes = Vec::new();
+        let mut cands = Vec::new();
+        for &(a, b) in addr_pairs {
+            let la = nodes.len() as u32;
+            nodes.push(SyntheticNode {
+                inst: InstId(10),
+                addr: a,
+                class: SyntheticClass::Load,
+                writers: vec![EXTERNAL, EXTERNAL],
+            });
+            let lb = nodes.len() as u32;
+            nodes.push(SyntheticNode {
+                inst: InstId(11),
+                addr: b,
+                class: SyntheticClass::Load,
+                writers: vec![EXTERNAL, EXTERNAL],
+            });
+            let c = nodes.len() as u32;
+            nodes.push(SyntheticNode {
+                inst: InstId(1),
+                addr: 0,
+                class: SyntheticClass::Candidate,
+                writers: vec![la, lb],
+            });
+            cands.push(c);
+        }
+        (Ddg::synthetic(nodes), cands)
+    }
+
+    #[test]
+    fn contiguous_pairs_form_one_subpartition() {
+        let pairs: Vec<(u64, u64)> = (0..8).map(|i| (1000 + i * 8, 2000 + i * 8)).collect();
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        let subs = unit_stride(&ddg, &cands, 8);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].len(), 8);
+    }
+
+    #[test]
+    fn zero_stride_operand_is_allowed() {
+        // Second operand fixed (splat), first unit stride.
+        let pairs: Vec<(u64, u64)> = (0..6).map(|i| (1000 + i * 8, 4096)).collect();
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        let subs = unit_stride(&ddg, &cands, 8);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].len(), 6);
+    }
+
+    #[test]
+    fn non_unit_access_splits_into_singletons() {
+        // Stride 16 (AoS of complex): unit-stride stage must not group.
+        let pairs: Vec<(u64, u64)> = (0..8).map(|i| (1000 + i * 16, 2000 + i * 16)).collect();
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        let subs = unit_stride(&ddg, &cands, 8);
+        assert_eq!(subs.len(), 8);
+        assert!(subs.iter().all(|s| s.len() == 1));
+
+        // ...but the non-unit stage groups all of them.
+        let report = analyze_partition(&ddg, &cands, 8);
+        assert!(report.unit.is_empty());
+        assert_eq!(report.non_unit.len(), 1);
+        assert_eq!(report.non_unit[0].len(), 8);
+        assert!(report.singletons.is_empty());
+    }
+
+    #[test]
+    fn stride_change_breaks_subpartition() {
+        // First 4 contiguous, gap, next 4 contiguous.
+        let mut pairs: Vec<(u64, u64)> = (0..4).map(|i| (1000 + i * 8, 2000 + i * 8)).collect();
+        pairs.extend((0..4).map(|i| (5000 + i * 8, 6000 + i * 8)));
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        let subs = unit_stride(&ddg, &cands, 8);
+        let sizes: Vec<usize> = subs.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![4, 4]);
+    }
+
+    #[test]
+    fn mixed_strides_waitlist_regroups() {
+        // Interleave stride-16 runs from two bases: the sorted order
+        // alternates 4-byte and 12-byte deltas. The greedy scan (the
+        // paper's "current stride" is established by the first accepted
+        // pair) pairs neighbors at stride 4 and wait-lists the rest; every
+        // instance still lands in a non-singleton constant-stride group.
+        let mut pairs = Vec::new();
+        for i in 0..4u64 {
+            pairs.push((1000 + i * 16, 9000));
+            pairs.push((1004 + i * 16, 9000));
+        }
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        let report = analyze_partition(&ddg, &cands, 8);
+        assert!(report.unit.is_empty());
+        assert_eq!(report.non_unit_ops(), 8);
+        assert!(report.non_unit.iter().all(|g| g.len() >= 2));
+        assert!(report.singletons.is_empty());
+    }
+
+    #[test]
+    fn single_nonunit_stream_groups_fully() {
+        // One clean stride-24 stream: the wait-list scan groups everything
+        // into a single subpartition.
+        let pairs: Vec<(u64, u64)> = (0..6).map(|i| (1000 + i * 24, 9000)).collect();
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        let report = analyze_partition(&ddg, &cands, 8);
+        assert_eq!(report.non_unit.len(), 1);
+        assert_eq!(report.non_unit[0].len(), 6);
+    }
+
+    #[test]
+    fn f32_elem_size_respected() {
+        let pairs: Vec<(u64, u64)> = (0..8).map(|i| (1000 + i * 4, 2000 + i * 4)).collect();
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        assert_eq!(unit_stride(&ddg, &cands, 4).len(), 1);
+        // With elem size 8, stride 4 is non-unit.
+        assert_eq!(unit_stride(&ddg, &cands, 8).len(), 8);
+    }
+
+    #[test]
+    fn register_operands_group_as_zero_stride() {
+        // Candidates whose operands are other candidates (register chains):
+        // address tuples are all (0, 0) -> one zero-stride subpartition.
+        let mut nodes = Vec::new();
+        let mut cands = Vec::new();
+        for _ in 0..5 {
+            let c = nodes.len() as u32;
+            nodes.push(SyntheticNode {
+                inst: InstId(1),
+                addr: 0,
+                class: SyntheticClass::Candidate,
+                writers: vec![EXTERNAL, EXTERNAL],
+            });
+            cands.push(c);
+        }
+        let ddg = Ddg::synthetic(nodes);
+        let subs = unit_stride(&ddg, &cands, 8);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].len(), 5);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let (ddg, _) = ddg_with_loads(&[]);
+        assert!(unit_stride(&ddg, &[], 8).is_empty());
+        assert!(non_unit_stride(&ddg, &[]).is_empty());
+        let r = analyze_partition(&ddg, &[], 8);
+        assert_eq!(r.unit_ops(), 0);
+        assert_eq!(r.avg_unit_size(), 0.0);
+    }
+
+    #[test]
+    fn report_averages() {
+        let pairs: Vec<(u64, u64)> = (0..6).map(|i| (1000 + i * 8, 2000 + i * 8)).collect();
+        let (ddg, cands) = ddg_with_loads(&pairs);
+        let r = analyze_partition(&ddg, &cands, 8);
+        assert_eq!(r.unit_ops(), 6);
+        assert_eq!(r.avg_unit_size(), 6.0);
+        assert_eq!(r.non_unit_ops(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use vectorscope_ddg::{SyntheticClass, SyntheticNode, EXTERNAL};
+    use vectorscope_ir::InstId;
+
+    /// Builds a DDG whose candidates have 2 load operands at the given
+    /// address pairs.
+    fn ddg_of_pairs(addr_pairs: &[(u64, u64)]) -> (Ddg, Vec<u32>) {
+        let mut nodes = Vec::new();
+        let mut cands = Vec::new();
+        for &(a, b) in addr_pairs {
+            let la = nodes.len() as u32;
+            nodes.push(SyntheticNode {
+                inst: InstId(10),
+                addr: a,
+                class: SyntheticClass::Load,
+                writers: vec![EXTERNAL, EXTERNAL],
+            });
+            let lb = nodes.len() as u32;
+            nodes.push(SyntheticNode {
+                inst: InstId(11),
+                addr: b,
+                class: SyntheticClass::Load,
+                writers: vec![EXTERNAL, EXTERNAL],
+            });
+            let c = nodes.len() as u32;
+            nodes.push(SyntheticNode {
+                inst: InstId(1),
+                addr: 0,
+                class: SyntheticClass::Candidate,
+                writers: vec![la, lb],
+            });
+            cands.push(c);
+        }
+        (Ddg::synthetic(nodes), cands)
+    }
+
+    proptest! {
+        /// Soundness + completeness of unit-stride subpartitioning over
+        /// random address tuples: every node lands in exactly one
+        /// subpartition, and within a subpartition consecutive tuples (in
+        /// sorted order) advance by a constant per-operand delta of 0 or
+        /// the element size.
+        #[test]
+        fn unit_stride_subpartitions_are_sound(
+            pairs in prop::collection::vec((0u64..512, 0u64..512), 1..40),
+        ) {
+            // Scale addresses to multiples of 8 to look like doubles.
+            let pairs: Vec<(u64, u64)> =
+                pairs.into_iter().map(|(a, b)| (a * 8, b * 8)).collect();
+            let (ddg, cands) = ddg_of_pairs(&pairs);
+            let subs = unit_stride(&ddg, &cands, 8);
+
+            // Completeness.
+            let covered: usize = subs.iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, cands.len());
+            let mut seen = std::collections::HashSet::new();
+            for sp in &subs {
+                for &n in sp {
+                    prop_assert!(seen.insert(n));
+                }
+            }
+
+            // Soundness: constant 0/8 per-operand deltas inside each
+            // subpartition.
+            for sp in &subs {
+                if sp.len() < 2 {
+                    continue;
+                }
+                let tuples: Vec<Vec<u64>> =
+                    sp.iter().map(|&n| ddg.operand_addrs(n)).collect();
+                let delta: Vec<u64> = tuples[0]
+                    .iter()
+                    .zip(&tuples[1])
+                    .map(|(a, b)| b - a)
+                    .collect();
+                prop_assert!(delta.iter().all(|&d| d == 0 || d == 8));
+                for w in tuples.windows(2) {
+                    let d: Vec<u64> =
+                        w[0].iter().zip(&w[1]).map(|(a, b)| b - a).collect();
+                    prop_assert_eq!(&d, &delta, "stride changed inside subpartition");
+                }
+            }
+        }
+
+        /// The non-unit waitlist scan also covers every input exactly once
+        /// and produces constant-stride groups.
+        #[test]
+        fn non_unit_waitlist_is_sound(
+            pairs in prop::collection::vec((0u64..512, 0u64..512), 1..40),
+        ) {
+            let pairs: Vec<(u64, u64)> =
+                pairs.into_iter().map(|(a, b)| (a * 8, b * 8)).collect();
+            let (ddg, cands) = ddg_of_pairs(&pairs);
+            let subs = non_unit_stride(&ddg, &cands);
+            let covered: usize = subs.iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, cands.len());
+            for sp in &subs {
+                if sp.len() < 2 {
+                    continue;
+                }
+                let tuples: Vec<Vec<u64>> =
+                    sp.iter().map(|&n| ddg.operand_addrs(n)).collect();
+                let delta: Vec<i64> = tuples[0]
+                    .iter()
+                    .zip(&tuples[1])
+                    .map(|(a, b)| *b as i64 - *a as i64)
+                    .collect();
+                for w in tuples.windows(2) {
+                    let d: Vec<i64> = w[0]
+                        .iter()
+                        .zip(&w[1])
+                        .map(|(a, b)| *b as i64 - *a as i64)
+                        .collect();
+                    prop_assert_eq!(&d, &delta, "stride changed inside subpartition");
+                }
+            }
+        }
+    }
+}

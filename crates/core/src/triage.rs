@@ -1,0 +1,202 @@
+//! Missed-opportunity triage — the paper's "assisting vectorization
+//! experts" and "aid to compiler writers" use cases (§4.2, §1).
+//!
+//! The paper argues the tool's value is focusing expert attention: "An
+//! automated tool allows the vectorization expert to quickly eliminate
+//! loops with little to no vectorization potential, and concentrate on the
+//! loops with high potential", and for compiler writers, "identifying why
+//! code that has been identified as being potentially vectorizable is not
+//! actually being vectorized". This module automates that cut: it combines
+//! a loop's measured potential, what the compiler achieved, and the
+//! §4.4-style control-regularity signal into a recommendation.
+
+use crate::report::LoopReport;
+
+/// The recommendation for one hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The compiler already vectorizes most of what is available.
+    AlreadyVectorized,
+    /// High potential, regular control flow, compiler failed: a missed
+    /// opportunity worth expert (or compiler-writer) attention.
+    MissedOpportunity,
+    /// Potential exists only at non-unit stride: consider a data-layout
+    /// transformation (transpose, AoS→SoA).
+    NeedsLayoutChange,
+    /// Potential exists but control flow is highly data-dependent
+    /// (453.povray): hard to realize without algorithmic change.
+    IrregularControl,
+    /// Little inherent SIMD parallelism: an algorithmic rewrite would be
+    /// needed ("complete algorithmic rewrite" in the paper's ISV framing).
+    NoPotential,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Verdict::AlreadyVectorized => "already vectorized",
+            Verdict::MissedOpportunity => "MISSED OPPORTUNITY",
+            Verdict::NeedsLayoutChange => "needs data-layout change",
+            Verdict::IrregularControl => "irregular control flow",
+            Verdict::NoPotential => "no SIMD potential",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tunable thresholds for [`triage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriageThresholds {
+    /// Minimum combined vec-ops percentage to call a loop "has potential".
+    pub potential_pct: f64,
+    /// Packed percentage above which the compiler "already did it".
+    pub packed_pct: f64,
+    /// Control irregularity above which realization is doubtful.
+    pub irregularity: f64,
+}
+
+impl Default for TriageThresholds {
+    fn default() -> Self {
+        TriageThresholds {
+            // Gauss-Seidel's 22.2% was worth a manual transformation in the
+            // paper; the default keeps such partial potential on the radar.
+            potential_pct: 15.0,
+            packed_pct: 50.0,
+            irregularity: 0.6,
+        }
+    }
+}
+
+/// Classifies one analyzed loop.
+///
+/// `percent_packed` must have been attached to the report (reports produced
+/// without a vectorizer model treat the compiler as having packed nothing).
+///
+/// # Example
+///
+/// ```
+/// use vectorscope::{analyze_source, AnalysisOptions};
+/// use vectorscope::triage::{triage, TriageThresholds, Verdict};
+///
+/// // A fully parallel loop the (absent) compiler did not vectorize.
+/// let src = r#"
+///     const int N = 64;
+///     double a[N];
+///     void main() { for (int i = 0; i < N; i++) { a[i] = a[i] * 2.0; } }
+/// "#;
+/// let suite = analyze_source("t.kern", src, &AnalysisOptions::default())?;
+/// let verdict = triage(&suite.loops[0], &TriageThresholds::default());
+/// assert_eq!(verdict, Verdict::MissedOpportunity);
+/// # Ok::<(), vectorscope::Error>(())
+/// ```
+pub fn triage(report: &LoopReport, t: &TriageThresholds) -> Verdict {
+    let packed = report.percent_packed.unwrap_or(0.0);
+    let unit = report.metrics.pct_unit_vec_ops;
+    let non_unit = report.metrics.pct_non_unit_vec_ops;
+    let potential = unit + non_unit;
+
+    if packed >= t.packed_pct {
+        return Verdict::AlreadyVectorized;
+    }
+    if potential < t.potential_pct {
+        return Verdict::NoPotential;
+    }
+    if report.control_irregularity > t.irregularity {
+        return Verdict::IrregularControl;
+    }
+    if non_unit > unit {
+        return Verdict::NeedsLayoutChange;
+    }
+    Verdict::MissedOpportunity
+}
+
+/// Triage an entire suite of reports; returns `(report index, verdict)`
+/// pairs with missed opportunities first, then layout candidates, ordered
+/// by percent of cycles within each class.
+pub fn triage_suite(reports: &[LoopReport], t: &TriageThresholds) -> Vec<(usize, Verdict)> {
+    let rank = |v: Verdict| match v {
+        Verdict::MissedOpportunity => 0,
+        Verdict::NeedsLayoutChange => 1,
+        Verdict::IrregularControl => 2,
+        Verdict::AlreadyVectorized => 3,
+        Verdict::NoPotential => 4,
+    };
+    let mut out: Vec<(usize, Verdict)> = reports
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (i, triage(r, t)))
+        .collect();
+    out.sort_by(|a, b| {
+        rank(a.1).cmp(&rank(b.1)).then(
+            reports[b.0]
+                .percent_cycles
+                .partial_cmp(&reports[a.0].percent_cycles)
+                .expect("finite"),
+        )
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::LoopMetrics;
+    use vectorscope_ir::loops::LoopId;
+    use vectorscope_ir::FuncId;
+
+    fn report(packed: f64, unit: f64, non_unit: f64, irregularity: f64) -> LoopReport {
+        LoopReport {
+            module_name: "t.kern".into(),
+            func_name: "kernel".into(),
+            func: FuncId(0),
+            loop_id: LoopId(0),
+            loop_line: 1,
+            percent_cycles: 50.0,
+            percent_packed: Some(packed),
+            control_irregularity: irregularity,
+            metrics: LoopMetrics {
+                total_ops: 100,
+                avg_concurrency: 10.0,
+                pct_unit_vec_ops: unit,
+                avg_unit_vec_size: 8.0,
+                pct_non_unit_vec_ops: non_unit,
+                avg_non_unit_vec_size: 4.0,
+                vec_lengths: Default::default(),
+            },
+            per_inst: vec![],
+            ddg_nodes: 100,
+        }
+    }
+
+    #[test]
+    fn verdict_classes() {
+        let t = TriageThresholds::default();
+        assert_eq!(triage(&report(95.0, 100.0, 0.0, 0.0), &t), Verdict::AlreadyVectorized);
+        assert_eq!(triage(&report(0.0, 90.0, 0.0, 0.0), &t), Verdict::MissedOpportunity);
+        assert_eq!(triage(&report(0.0, 10.0, 60.0, 0.0), &t), Verdict::NeedsLayoutChange);
+        assert_eq!(triage(&report(0.0, 90.0, 0.0, 0.9), &t), Verdict::IrregularControl);
+        assert_eq!(triage(&report(0.0, 5.0, 5.0, 0.0), &t), Verdict::NoPotential);
+    }
+
+    #[test]
+    fn suite_ordering_puts_missed_first() {
+        let t = TriageThresholds::default();
+        let reports = vec![
+            report(95.0, 100.0, 0.0, 0.0), // already
+            report(0.0, 90.0, 0.0, 0.0),   // missed
+            report(0.0, 10.0, 60.0, 0.0),  // layout
+        ];
+        let order = triage_suite(&reports, &t);
+        assert_eq!(order[0], (1, Verdict::MissedOpportunity));
+        assert_eq!(order[1], (2, Verdict::NeedsLayoutChange));
+        assert_eq!(order[2], (0, Verdict::AlreadyVectorized));
+    }
+
+    #[test]
+    fn missing_packed_defaults_to_unvectorized() {
+        let t = TriageThresholds::default();
+        let mut r = report(0.0, 90.0, 0.0, 0.0);
+        r.percent_packed = None;
+        assert_eq!(triage(&r, &t), Verdict::MissedOpportunity);
+    }
+}

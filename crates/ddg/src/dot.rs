@@ -1,0 +1,194 @@
+//! Graphviz (DOT) export of DDGs — for regenerating figure-style drawings
+//! like the paper's Fig. 1/2 dependence diagrams.
+
+use crate::Ddg;
+use std::fmt::Write;
+use vectorscope_ir::Module;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotOptions {
+    /// Emit at most this many nodes (graphs beyond a few hundred nodes are
+    /// unreadable); the remainder is summarized in a note.
+    pub max_nodes: usize,
+    /// Only draw candidate (FP) nodes and the nodes on paths between them
+    /// (`false` draws every instruction instance).
+    pub candidates_only: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            max_nodes: 300,
+            candidates_only: false,
+        }
+    }
+}
+
+/// Renders the DDG in Graphviz DOT syntax.
+///
+/// Nodes are labeled `#<static id>@<line>` with their dynamic index;
+/// candidate (FP) nodes are drawn as boxes, loads/stores as ellipses with
+/// their addresses, everything else as plain points.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_interp::{Vm, CaptureSpec};
+/// use vectorscope_ddg::{dot, Ddg};
+///
+/// let src = r#"
+///     const int N = 3;
+///     double a[N];
+///     void main() { for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; } }
+/// "#;
+/// let module = vectorscope_frontend::compile("d.kern", src).unwrap();
+/// let mut vm = Vm::new(&module);
+/// vm.set_capture(CaptureSpec::Program, "d");
+/// vm.run_main().unwrap();
+/// let ddg = Ddg::build(&module, &vm.take_trace().unwrap());
+/// let text = dot::to_dot(&module, &ddg, &dot::DotOptions::default());
+/// assert!(text.starts_with("digraph ddg {"));
+/// assert!(text.contains("->"));
+/// ```
+pub fn to_dot(module: &Module, ddg: &Ddg, options: &DotOptions) -> String {
+    let mut out = String::from("digraph ddg {\n  rankdir=TB;\n  node [fontsize=9];\n");
+
+    // Which nodes to draw.
+    let keep: Vec<bool> = if options.candidates_only {
+        // Keep candidates plus everything backwards-reachable from one.
+        let mut keep = vec![false; ddg.len()];
+        let mut stack: Vec<u32> = ddg.candidate_nodes().collect();
+        for &c in &stack {
+            keep[c as usize] = true;
+        }
+        while let Some(n) = stack.pop() {
+            for p in ddg.preds(n) {
+                if !keep[p as usize] {
+                    keep[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        keep
+    } else {
+        vec![true; ddg.len()]
+    };
+
+    // When truncating, keep the LAST `max_nodes` kept nodes: candidates and
+    // their producers cluster at the end of the trace, while early nodes
+    // are typically initialization.
+    let kept_indices: Vec<u32> = (0..ddg.len() as u32)
+        .filter(|&n| keep[n as usize])
+        .collect();
+    let skipped = kept_indices.len().saturating_sub(options.max_nodes);
+    let mut in_graph = vec![false; ddg.len()];
+    for &n in kept_indices.iter().skip(skipped) {
+        in_graph[n as usize] = true;
+    }
+    for n in 0..ddg.len() as u32 {
+        if !in_graph[n as usize] {
+            continue;
+        }
+        let inst = ddg.inst(n);
+        let line = module.span_of(inst).line;
+        if ddg.is_candidate(n) {
+            let _ = writeln!(
+                out,
+                "  n{n} [shape=box,style=bold,label=\"{n}: #{}@{line}\"];",
+                inst.0
+            );
+        } else if let Some(addr) = ddg.addr(n) {
+            let kind = if ddg.is_load(n) { "ld" } else { "st" };
+            let _ = writeln!(
+                out,
+                "  n{n} [shape=ellipse,label=\"{n}: {kind} {addr:#x}\"];"
+            );
+        } else {
+            let _ = writeln!(out, "  n{n} [shape=point,label=\"\"];");
+        }
+    }
+    for n in 0..ddg.len() as u32 {
+        if !in_graph[n as usize] {
+            continue;
+        }
+        for p in ddg.preds(n) {
+            if in_graph[p as usize] {
+                let _ = writeln!(out, "  n{p} -> n{n};");
+            }
+        }
+    }
+    if skipped > 0 {
+        let _ = writeln!(
+            out,
+            "  note [shape=plaintext,label=\"... {skipped} more node(s) omitted\"];"
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorscope_interp::{CaptureSpec, Vm};
+
+    fn sample_ddg() -> (Module, Ddg) {
+        let src = r#"
+            const int N = 4;
+            double a[N];
+            void main() {
+                a[0] = 1.0;
+                for (int i = 1; i < N; i++) { a[i] = 2.0 * a[i-1]; }
+            }
+        "#;
+        let module = vectorscope_frontend::compile("dot.kern", src).unwrap();
+        let mut vm = Vm::new(&module);
+        vm.set_capture(CaptureSpec::Program, "dot");
+        vm.run_main().unwrap();
+        let trace = vm.take_trace().unwrap();
+        let ddg = Ddg::build(&module, &trace);
+        (module, ddg)
+    }
+
+    #[test]
+    fn full_graph_draws_all_nodes() {
+        let (module, ddg) = sample_ddg();
+        let text = to_dot(&module, &ddg, &DotOptions::default());
+        assert_eq!(text.matches("n0 [").count(), 1);
+        assert_eq!(text.matches("shape=box").count(), 3, "{text}"); // 3 fmuls
+        assert!(text.matches("->").count() >= ddg.num_edges() / 2);
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn candidates_only_prunes_dead_branches() {
+        let (module, ddg) = sample_ddg();
+        let full = to_dot(&module, &ddg, &DotOptions::default());
+        let pruned = to_dot(
+            &module,
+            &ddg,
+            &DotOptions {
+                candidates_only: true,
+                ..DotOptions::default()
+            },
+        );
+        assert!(pruned.len() < full.len());
+        assert_eq!(pruned.matches("shape=box").count(), 3);
+    }
+
+    #[test]
+    fn max_nodes_is_respected() {
+        let (module, ddg) = sample_ddg();
+        let text = to_dot(
+            &module,
+            &ddg,
+            &DotOptions {
+                max_nodes: 5,
+                candidates_only: false,
+            },
+        );
+        assert_eq!(text.matches("[shape=").count(), 5 + 1); // 5 nodes + note
+        assert!(text.contains("omitted"));
+    }
+}

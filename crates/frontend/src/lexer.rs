@@ -1,0 +1,438 @@
+//! Lexical analysis for Kern.
+
+use crate::CompileError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// The kinds of Kern tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword-free name.
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// A keyword (`int`, `double`, `for`, ...).
+    Keyword(Keyword),
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Kern keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `int`
+    Int,
+    /// `double`
+    Double,
+    /// `float`
+    Float,
+    /// `bool`
+    Bool,
+    /// `void`
+    Void,
+    /// `struct`
+    Struct,
+    /// `const`
+    Const,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "int" => Keyword::Int,
+            "double" => Keyword::Double,
+            "float" => Keyword::Float,
+            "bool" => Keyword::Bool,
+            "void" => Keyword::Void,
+            "struct" => Keyword::Struct,
+            "const" => Keyword::Const,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "return" => Keyword::Return,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant names are self-describing symbols
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    Amp,
+}
+
+/// Streaming lexer over Kern source text.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_frontend::{Lexer, TokenKind};
+/// let tokens = Lexer::new("x + 1").tokenize().unwrap();
+/// assert_eq!(tokens.len(), 4); // x, +, 1, EOF
+/// assert!(matches!(tokens[0].kind, TokenKind::Ident(_)));
+/// ```
+#[derive(Debug)]
+pub struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'s str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    /// Lexes the whole input into a token vector ending with
+    /// [`TokenKind::Eof`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] on malformed numbers or unknown
+    /// characters.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_alphabetic() || c == b'_' {
+                self.lex_word()
+            } else if c.is_ascii_digit() {
+                self.lex_number()?
+            } else {
+                self.lex_punct()?
+            };
+            out.push(Token { kind, line, col });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn lex_word(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii word");
+        match Keyword::from_str(word) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(word.to_string()),
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, CompileError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+            } else if c == b'.' && !is_float {
+                // trailing dot, e.g. `1.`
+                is_float = true;
+                self.bump();
+            } else if (c == b'e' || c == b'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == b'+' || d == b'-')
+            {
+                is_float = true;
+                self.bump(); // e
+                self.bump(); // sign or digit
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::FloatLit)
+                .map_err(|_| CompileError::new(format!("bad float literal `{text}`"), line, col))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::IntLit)
+                .map_err(|_| CompileError::new(format!("bad integer literal `{text}`"), line, col))
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, CompileError> {
+        use Punct::*;
+        let (line, col) = (self.line, self.col);
+        let c = self.bump().expect("peeked");
+        let two = |lexer: &mut Self, next: u8, yes: Punct, no: Punct| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let p = match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'%' => Percent,
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    PlusPlus
+                } else {
+                    two(self, b'=', PlusAssign, Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    MinusMinus
+                } else if self.peek() == Some(b'>') {
+                    self.bump();
+                    Arrow
+                } else {
+                    two(self, b'=', MinusAssign, Minus)
+                }
+            }
+            b'*' => two(self, b'=', StarAssign, Star),
+            b'/' => two(self, b'=', SlashAssign, Slash),
+            b'=' => two(self, b'=', Eq, Assign),
+            b'!' => two(self, b'=', Ne, Not),
+            b'<' => two(self, b'=', Le, Lt),
+            b'>' => two(self, b'=', Ge, Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    AndAnd
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    OrOr
+                } else {
+                    return Err(CompileError::new("expected `||`", line, col));
+                }
+            }
+            other => {
+                return Err(CompileError::new(
+                    format!("unexpected character `{}`", other as char),
+                    line,
+                    col,
+                ))
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_and_keywords() {
+        let ks = kinds("for foo double _x1");
+        assert_eq!(ks[0], TokenKind::Keyword(Keyword::For));
+        assert_eq!(ks[1], TokenKind::Ident("foo".into()));
+        assert_eq!(ks[2], TokenKind::Keyword(Keyword::Double));
+        assert_eq!(ks[3], TokenKind::Ident("_x1".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let ks = kinds("42 3.5 1e3 2.5e-2 7.");
+        assert_eq!(ks[0], TokenKind::IntLit(42));
+        assert_eq!(ks[1], TokenKind::FloatLit(3.5));
+        assert_eq!(ks[2], TokenKind::FloatLit(1000.0));
+        assert_eq!(ks[3], TokenKind::FloatLit(0.025));
+        assert_eq!(ks[4], TokenKind::FloatLit(7.0));
+    }
+
+    #[test]
+    fn member_access_vs_float() {
+        // `a.x` must lex as ident dot ident, not a float.
+        let ks = kinds("a.x");
+        assert_eq!(ks[0], TokenKind::Ident("a".into()));
+        assert_eq!(ks[1], TokenKind::Punct(Punct::Dot));
+        assert_eq!(ks[2], TokenKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn operators() {
+        use Punct::*;
+        let ks = kinds("+ ++ += - -- -> -= * *= / /= == = != ! < <= > >= && & %");
+        let expect = [
+            Plus, PlusPlus, PlusAssign, Minus, MinusMinus, Arrow, MinusAssign, Star, StarAssign,
+            Slash, SlashAssign, Eq, Assign, Ne, Not, Lt, Le, Gt, Ge, AndAnd, Amp, Percent,
+        ];
+        for (k, e) in ks.iter().zip(expect.iter()) {
+            assert_eq!(k, &TokenKind::Punct(*e));
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // line comment\n /* block \n comment */ b");
+        assert_eq!(ks.len(), 3); // a, b, EOF
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        assert!(Lexer::new("a $ b").tokenize().is_err());
+        assert!(Lexer::new("a | b").tokenize().is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Kern: a small C-like kernel language compiled to vectorscope IR.
+//!
+//! Kern plays the role that C/C++/Fortran (via Clang/DragonEgg) play in the
+//! PLDI 2012 paper: benchmark kernels are written in Kern, compiled to the
+//! IR, executed by the tracing VM, and analyzed from the resulting trace.
+//! The language is deliberately close to C so that the paper's case-study
+//! listings (Gauss-Seidel, the PETSc PDE solver, milc, bwaves, gromacs, the
+//! UTDSP kernels in both array and pointer style) transliterate directly.
+//!
+//! # Language summary
+//!
+//! ```text
+//! // types: int, bool, float, double, void, T*, T name[N][M]..., struct S
+//! struct complex { double r; double i; };
+//!
+//! const int N = 64;            // compile-time constants (usable in dims)
+//! double A[N][N];              // globals are zero-initialized
+//!
+//! double sum(double* p, int n) {
+//!     double s = 0.0;
+//!     for (int i = 0; i < n; i++) {
+//!         s += p[i];           // also: = + - * / % comparisons && || !
+//!     }
+//!     return s;
+//! }
+//!
+//! void main() {                // entry point executed by the VM
+//!     ...                      // calls, if/else, while, break, continue
+//! }
+//! ```
+//!
+//! Further features: pointer arithmetic (`p + i` scales by element size),
+//! dereference (`*p`), address-of (`&A[i][j]`), member access (`s.x`,
+//! `p->x`), post-increment/decrement statements (`i++`), compound
+//! assignment, explicit casts (`(double)n`), and the math builtins `exp`,
+//! `log`, `sqrt`, `fabs`, `sin`, `cos`, `floor`, `fmin`, `fmax`, `pow`.
+//!
+//! Arrays are row-major. Structs are laid out with natural alignment. An
+//! `int` is 64-bit. Array function parameters decay to pointers but keep
+//! their declared element shape for indexing (`double a[][N]`).
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     double dot(double* a, double* b, int n) {
+//!         double s = 0.0;
+//!         for (int i = 0; i < n; i++) { s += a[i] * b[i]; }
+//!         return s;
+//!     }
+//! "#;
+//! let module = vectorscope_frontend::compile("dot.kern", src)?;
+//! assert!(module.lookup_function("dot").is_some());
+//! # Ok::<(), vectorscope_frontend::CompileError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod ast;
+mod lexer;
+mod lower;
+mod parser;
+mod sema;
+
+pub use lexer::{Lexer, Token, TokenKind};
+pub use sema::{StructLayout, TypeTable};
+
+use vectorscope_ir::Module;
+
+/// A compilation failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub col: u32,
+}
+
+impl CompileError {
+    pub(crate) fn new(message: impl Into<String>, line: u32, col: u32) -> Self {
+        CompileError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles Kern source text into an IR [`Module`].
+///
+/// `name` becomes the module name (reports cite it as the "file" in
+/// `file : line` loop identifiers, following the paper's tables).
+///
+/// The returned module has passed the IR verifier.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for lexical, syntactic, or type errors, with
+/// the offending source position.
+pub fn compile(name: &str, source: &str) -> Result<Module, CompileError> {
+    let tokens = lexer::Lexer::new(source).tokenize()?;
+    let program = parser::Parser::new(tokens).parse_program()?;
+    let module = lower::lower(name, &program)?;
+    vectorscope_ir::verify::verify_module(&module)
+        .map_err(|e| CompileError::new(format!("internal: generated invalid IR: {e}"), 0, 0))?;
+    Ok(module)
+}
+
+/// Parses Kern source into an AST without lowering (useful for tooling and
+/// tests).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for lexical or syntactic errors.
+pub fn parse(source: &str) -> Result<ast::Program, CompileError> {
+    let tokens = lexer::Lexer::new(source).tokenize()?;
+    parser::Parser::new(tokens).parse_program()
+}

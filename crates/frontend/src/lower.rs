@@ -1,0 +1,1298 @@
+//! Lowering from the Kern AST to vectorscope IR.
+//!
+//! Type checking happens during lowering (the language is small enough that
+//! a separate annotation pass buys nothing). The lowering strategy:
+//!
+//! * scalar locals live in virtual registers (re-assigned in place, like
+//!   LLVM after `mem2reg`);
+//! * arrays, structs, and address-taken scalars live in the function's
+//!   stack frame, addressed through [`FrameAddr`](vectorscope_ir::InstKind::FrameAddr);
+//! * globals live in module storage, addressed through
+//!   [`GlobalAddr`](vectorscope_ir::InstKind::GlobalAddr);
+//! * all address arithmetic goes through `Gep` so the static vectorizer can
+//!   recover affine subscripts.
+
+use crate::ast::*;
+use crate::sema::{Ty, TypeTable};
+use crate::CompileError;
+use std::collections::{HashMap, HashSet};
+use vectorscope_ir::{
+    BinOp, BlockId, CmpOp, FunctionBuilder, Intrinsic, Module, RegId, ScalarTy, Span, UnOp, Value,
+};
+
+type LResult<T> = Result<T, CompileError>;
+
+fn err<T>(msg: impl Into<String>, pos: Pos) -> LResult<T> {
+    Err(CompileError::new(msg, pos.line, pos.col))
+}
+
+/// Lowers a parsed program into an IR module named `name`.
+pub fn lower(name: &str, program: &Program) -> LResult<Module> {
+    let mut consts = HashMap::new();
+    // Consts can reference earlier consts.
+    let mut table = TypeTable::build(&program.structs, HashMap::new())?;
+    for c in &program.consts {
+        let v = table.eval_const(&c.value)?;
+        table.insert_const(c.name.clone(), v);
+        consts.insert(c.name.clone(), v);
+    }
+
+    let mut module = Module::new(name);
+    let mut globals: HashMap<String, (vectorscope_ir::GlobalId, Ty)> = HashMap::new();
+    for g in &program.globals {
+        let base = table.resolve(&g.ty, g.pos.line, g.pos.col)?;
+        let ty = if g.dims.is_empty() {
+            base
+        } else {
+            let dims = g
+                .dims
+                .iter()
+                .map(|d| table.eval_const_usize(d))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ty::Array {
+                elem: Box::new(base),
+                dims,
+            }
+        };
+        let (size, _) = table
+            .size_align(&ty)
+            .map_err(|m| CompileError::new(m, g.pos.line, g.pos.col))?;
+        let elem_scalar = match &ty {
+            Ty::Array { elem, .. } => elem.scalar(),
+            other => other.scalar(),
+        };
+        if globals.contains_key(&g.name) {
+            return err(format!("duplicate global `{}`", g.name), g.pos);
+        }
+        let gid = module.add_global(&g.name, size, elem_scalar);
+        if let Some(init) = &g.init {
+            let scalar = ty.scalar().ok_or_else(|| {
+                CompileError::new("only scalar globals may have initializers", g.pos.line, g.pos.col)
+            })?;
+            let value = eval_const_num(&table, init)?;
+            module.init_global(gid, 0, value, scalar);
+        }
+        globals.insert(g.name.clone(), (gid, ty));
+    }
+
+    // Two-phase function lowering so that calls may reference functions
+    // defined later in the file (and recursion works).
+    let mut declared = Vec::with_capacity(program.funcs.len());
+    for f in &program.funcs {
+        declared.push(declare_function(&mut module, &table, f)?);
+    }
+    for (f, (id, params, ret)) in program.funcs.iter().zip(declared) {
+        lower_function(&mut module, &table, &globals, f, id, params, ret)?;
+    }
+    Ok(module)
+}
+
+type Declared = (vectorscope_ir::FuncId, Vec<Ty>, Ty);
+
+/// Evaluates a constant numeric initializer (integer constants plus float
+/// literals and unary minus over either).
+fn eval_const_num(table: &TypeTable, expr: &Expr) -> LResult<f64> {
+    match expr {
+        Expr::FloatLit(v, _) => Ok(*v),
+        Expr::Un {
+            op: UnKind::Neg,
+            expr,
+            ..
+        } => Ok(-eval_const_num(table, expr)?),
+        other => Ok(table.eval_const(other)? as f64),
+    }
+}
+
+/// Resolves a function's signature and pre-declares it in the module.
+fn declare_function(
+    module: &mut Module,
+    table: &TypeTable,
+    f: &FuncDecl,
+) -> LResult<Declared> {
+    let ret_sem = table.resolve(&f.ret, f.pos.line, f.pos.col)?;
+    let ret_ir = match &ret_sem {
+        Ty::Void => None,
+        other => Some(other.scalar().ok_or_else(|| {
+            CompileError::new("functions must return scalars", f.pos.line, f.pos.col)
+        })?),
+    };
+    let mut param_sems = Vec::new();
+    for p in &f.params {
+        let base = table.resolve(&p.ty, p.pos.line, p.pos.col)?;
+        let sem = if p.dims.is_empty() {
+            base
+        } else {
+            let mut tail = Vec::new();
+            for d in &p.dims[1..] {
+                match d {
+                    Some(e) => tail.push(table.eval_const_usize(e)?),
+                    None => {
+                        return err("only the first array extent may be omitted", p.pos);
+                    }
+                }
+            }
+            let pointee = if tail.is_empty() {
+                base
+            } else {
+                Ty::Array {
+                    elem: Box::new(base),
+                    dims: tail,
+                }
+            };
+            Ty::Ptr(Box::new(pointee))
+        };
+        if sem.scalar().is_none() {
+            return err(format!("parameter `{}` must be scalar or pointer", p.name), p.pos);
+        }
+        param_sems.push(sem);
+    }
+    let param_irs: Vec<ScalarTy> = param_sems.iter().map(|t| t.scalar().unwrap()).collect();
+    if module.lookup_function(&f.name).is_some() {
+        return err(format!("duplicate function `{}`", f.name), f.pos);
+    }
+    let id = module.declare_function(&f.name, &param_irs, ret_ir);
+    Ok((id, param_sems, ret_sem))
+}
+
+/// Where a named local lives.
+#[derive(Debug, Clone)]
+enum Slot {
+    Reg(RegId, Ty),
+    Frame(u64, Ty),
+}
+
+/// A resolved storage location for reads/writes.
+#[derive(Debug, Clone)]
+enum Place {
+    Reg(RegId, Ty),
+    Mem(Value, Ty),
+}
+
+impl Place {
+    fn ty(&self) -> &Ty {
+        match self {
+            Place::Reg(_, t) | Place::Mem(_, t) => t,
+        }
+    }
+}
+
+struct FnLowerer<'m, 't> {
+    b: FunctionBuilder<'m>,
+    table: &'t TypeTable,
+    globals: &'t HashMap<String, (vectorscope_ir::GlobalId, Ty)>,
+    scopes: Vec<HashMap<String, Slot>>,
+    homed: HashSet<String>,
+    /// `(continue target, break target)` per enclosing loop.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    ret_ty: Ty,
+}
+
+fn lower_function(
+    module: &mut Module,
+    table: &TypeTable,
+    globals: &HashMap<String, (vectorscope_ir::GlobalId, Ty)>,
+    f: &FuncDecl,
+    id: vectorscope_ir::FuncId,
+    param_sems: Vec<Ty>,
+    ret_sem: Ty,
+) -> LResult<()> {
+    let mut b = FunctionBuilder::reopen(module, id);
+    b.set_span(Span::new(f.pos.line, f.pos.col));
+
+    let mut homed = HashSet::new();
+    collect_homed(&f.body, &mut homed);
+
+    let mut lw = FnLowerer {
+        b,
+        table,
+        globals,
+        scopes: vec![HashMap::new()],
+        homed,
+        loop_stack: Vec::new(),
+        ret_ty: ret_sem,
+    };
+
+    // Bind parameters.
+    for (i, (p, sem)) in f.params.iter().zip(param_sems.iter()).enumerate() {
+        let reg = lw.b.param(i);
+        lw.b.name_reg(reg, &p.name);
+        if lw.homed.contains(&p.name) {
+            // Address-taken parameter: home it in the frame.
+            let scalar = sem.scalar().unwrap();
+            let off = lw.b.alloc_stack(scalar.size(), scalar.size());
+            let addr = lw.b.frame_addr(off);
+            lw.b.store(scalar, Value::Reg(addr), Value::Reg(reg));
+            lw.declare(&p.name, Slot::Frame(off, sem.clone()), p.pos)?;
+        } else {
+            lw.declare(&p.name, Slot::Reg(reg, sem.clone()), p.pos)?;
+        }
+    }
+
+    lw.lower_stmts(&f.body)?;
+
+    // Implicit return at the end of the body.
+    if !lw.b.is_terminated() {
+        match &lw.ret_ty {
+            Ty::Void => lw.b.ret(None),
+            t => {
+                let zero = if t.is_float() {
+                    Value::ImmFloat(0.0)
+                } else {
+                    Value::ImmInt(0)
+                };
+                lw.b.ret(Some(zero));
+            }
+        }
+    }
+    lw.b.finish();
+    Ok(())
+}
+
+/// Collects names of locals/params whose address is taken (they must live in
+/// memory rather than a register).
+fn collect_homed(stmts: &[Stmt], out: &mut HashSet<String>) {
+    fn walk_expr(e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::Un {
+                op: UnKind::AddrOf,
+                expr,
+                ..
+            } => {
+                // `&x` homes x; `&a[i]` / `&s.f` already reference memory,
+                // but the *base variable* must be homed when it is a scalar
+                // chain root, so home plain variable roots conservatively.
+                if let Expr::Var(name, _) = &**expr {
+                    out.insert(name.clone());
+                }
+                walk_expr(expr, out);
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                walk_expr(lhs, out);
+                walk_expr(rhs, out);
+            }
+            Expr::Un { expr, .. } | Expr::Cast { expr, .. } => walk_expr(expr, out),
+            Expr::Index { base, idx, .. } => {
+                walk_expr(base, out);
+                walk_expr(idx, out);
+            }
+            Expr::Member { base, .. } => walk_expr(base, out),
+            Expr::Call { args, .. } => {
+                for a in args {
+                    walk_expr(a, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn walk_stmt(s: &Stmt, out: &mut HashSet<String>) {
+        match s {
+            Stmt::Local { init, .. } => {
+                if let Some(e) = init {
+                    walk_expr(e, out);
+                }
+            }
+            Stmt::Assign { lhs, rhs, .. } => {
+                walk_expr(lhs, out);
+                walk_expr(rhs, out);
+            }
+            Stmt::IncDec { target, .. } => walk_expr(target, out),
+            Stmt::Expr(e) => walk_expr(e, out),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_expr(cond, out);
+                for s in then_body.iter().chain(else_body) {
+                    walk_stmt(s, out);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                walk_expr(cond, out);
+                for s in body {
+                    walk_stmt(s, out);
+                }
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                if let Some(s) = init {
+                    walk_stmt(s, out);
+                }
+                if let Some(e) = cond {
+                    walk_expr(e, out);
+                }
+                if let Some(s) = step {
+                    walk_stmt(s, out);
+                }
+                for s in body {
+                    walk_stmt(s, out);
+                }
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    walk_expr(e, out);
+                }
+            }
+            Stmt::Block(body) => {
+                for s in body {
+                    walk_stmt(s, out);
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) => {}
+        }
+    }
+    for s in stmts {
+        walk_stmt(s, out);
+    }
+}
+
+impl FnLowerer<'_, '_> {
+    fn declare(&mut self, name: &str, slot: Slot, pos: Pos) -> LResult<()> {
+        let scope = self.scopes.last_mut().expect("scope stack non-empty");
+        if scope.contains_key(name) {
+            return err(format!("`{name}` redeclared in the same scope"), pos);
+        }
+        scope.insert(name.to_string(), slot);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Slot> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn span(&mut self, pos: Pos) {
+        self.b.set_span(Span::new(pos.line, pos.col));
+    }
+
+    fn size_of(&self, ty: &Ty, pos: Pos) -> LResult<u64> {
+        self.table
+            .size_align(ty)
+            .map(|(s, _)| s)
+            .map_err(|m| CompileError::new(m, pos.line, pos.col))
+    }
+
+    // ---- statements ----
+
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> LResult<()> {
+        for s in stmts {
+            if self.b.is_terminated() {
+                // Dead code after return/break/continue: skip.
+                return Ok(());
+            }
+            self.lower_stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn lower_block(&mut self, stmts: &[Stmt]) -> LResult<()> {
+        self.scopes.push(HashMap::new());
+        let r = self.lower_stmts(stmts);
+        self.scopes.pop();
+        r
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> LResult<()> {
+        match stmt {
+            Stmt::Local {
+                ty,
+                name,
+                dims,
+                init,
+                pos,
+            } => self.lower_local(ty, name, dims, init.as_ref(), *pos),
+            Stmt::Assign { lhs, op, rhs, pos } => self.lower_assign(lhs, *op, rhs, *pos),
+            Stmt::IncDec { target, inc, pos } => self.lower_incdec(target, *inc, *pos),
+            Stmt::Expr(e) => {
+                self.span(e.pos());
+                // Evaluate for effect (calls); discard value.
+                if let Expr::Call { .. } = e {
+                    self.lower_call_expr(e, true)?;
+                } else {
+                    self.lower_expr(e)?;
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                pos,
+            } => self.lower_if(cond, then_body, else_body, *pos),
+            Stmt::While { cond, body, pos } => self.lower_while(cond, body, *pos),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                pos,
+            } => self.lower_for(init.as_deref(), cond.as_ref(), step.as_deref(), body, *pos),
+            Stmt::Return(value, pos) => self.lower_return(value.as_ref(), *pos),
+            Stmt::Break(pos) => {
+                self.span(*pos);
+                match self.loop_stack.last() {
+                    Some(&(_, brk)) => {
+                        self.b.br(brk);
+                        Ok(())
+                    }
+                    None => err("`break` outside a loop", *pos),
+                }
+            }
+            Stmt::Continue(pos) => {
+                self.span(*pos);
+                match self.loop_stack.last() {
+                    Some(&(cont, _)) => {
+                        self.b.br(cont);
+                        Ok(())
+                    }
+                    None => err("`continue` outside a loop", *pos),
+                }
+            }
+            Stmt::Block(body) => self.lower_block(body),
+        }
+    }
+
+    fn lower_local(
+        &mut self,
+        ty: &TypeExpr,
+        name: &str,
+        dims: &[Expr],
+        init: Option<&Expr>,
+        pos: Pos,
+    ) -> LResult<()> {
+        self.span(pos);
+        let base = self.table.resolve(ty, pos.line, pos.col)?;
+        let sem = if dims.is_empty() {
+            base
+        } else {
+            let dims = dims
+                .iter()
+                .map(|d| self.table.eval_const_usize(d))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ty::Array {
+                elem: Box::new(base),
+                dims,
+            }
+        };
+        let needs_memory = self.homed.contains(name)
+            || matches!(sem, Ty::Array { .. } | Ty::Struct(_));
+        if needs_memory {
+            let (size, align) = self
+                .table
+                .size_align(&sem)
+                .map_err(|m| CompileError::new(m, pos.line, pos.col))?;
+            let off = self.b.alloc_stack(size, align);
+            if let Some(e) = init {
+                let scalar = sem.scalar().ok_or_else(|| {
+                    CompileError::new("aggregate initializers are not supported", pos.line, pos.col)
+                })?;
+                let (v, vty) = self.lower_expr(e)?;
+                let v = self.coerce(v, &vty, &sem, e.pos())?;
+                let addr = self.b.frame_addr(off);
+                self.b.store(scalar, Value::Reg(addr), v);
+            }
+            self.declare(name, Slot::Frame(off, sem), pos)
+        } else {
+            let scalar = sem.scalar().ok_or_else(|| {
+                CompileError::new("aggregate local without memory home", pos.line, pos.col)
+            })?;
+            let reg = self.b.new_named_reg(scalar, name);
+            let value = match init {
+                Some(e) => {
+                    let (v, vty) = self.lower_expr(e)?;
+                    self.coerce(v, &vty, &sem, e.pos())?
+                }
+                None => {
+                    if sem.is_float() {
+                        Value::ImmFloat(0.0)
+                    } else {
+                        Value::ImmInt(0)
+                    }
+                }
+            };
+            self.b.copy(reg, value, scalar);
+            self.declare(name, Slot::Reg(reg, sem), pos)
+        }
+    }
+
+    fn lower_assign(
+        &mut self,
+        lhs: &Expr,
+        op: Option<BinKind>,
+        rhs: &Expr,
+        pos: Pos,
+    ) -> LResult<()> {
+        self.span(pos);
+        let place = self.lower_place(lhs)?;
+        let pty = place.ty().clone();
+        if pty.scalar().is_none() {
+            return err("assignment target must be scalar", pos);
+        }
+        let value = match op {
+            None => {
+                let (v, vty) = self.lower_expr(rhs)?;
+                self.coerce(v, &vty, &pty, rhs.pos())?
+            }
+            Some(bin) => {
+                let cur = self.read_place(&place, pos)?;
+                let (rv, rty) = self.lower_expr(rhs)?;
+                let (v, vty) = self.numeric_bin(bin, cur, pty.clone(), rv, rty, pos)?;
+                self.coerce(v, &vty, &pty, pos)?
+            }
+        };
+        self.write_place(&place, value, pos)
+    }
+
+    fn lower_incdec(&mut self, target: &Expr, inc: bool, pos: Pos) -> LResult<()> {
+        self.span(pos);
+        let place = self.lower_place(target)?;
+        let pty = place.ty().clone();
+        let cur = self.read_place(&place, pos)?;
+        let next = match &pty {
+            Ty::Int => {
+                let op = if inc { BinOp::IAdd } else { BinOp::ISub };
+                Value::Reg(self.b.binop(op, ScalarTy::I64, cur, Value::ImmInt(1)))
+            }
+            Ty::F32 | Ty::F64 => {
+                let op = if inc { BinOp::FAdd } else { BinOp::FSub };
+                let s = pty.scalar().unwrap();
+                Value::Reg(self.b.binop(op, s, cur, Value::ImmFloat(1.0)))
+            }
+            Ty::Ptr(inner) => {
+                let step = self.size_of(inner, pos)? as i64;
+                let scale = if inc { step } else { -step };
+                Value::Reg(self.b.gep(cur, vec![(Value::ImmInt(1), scale)], 0))
+            }
+            other => return err(format!("cannot increment value of type {other:?}"), pos),
+        };
+        self.write_place(&place, next, pos)
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Expr,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+        pos: Pos,
+    ) -> LResult<()> {
+        self.span(pos);
+        let c = self.lower_cond(cond)?;
+        let then_bb = self.b.new_block();
+        let else_bb = if else_body.is_empty() {
+            None
+        } else {
+            Some(self.b.new_block())
+        };
+        let join = self.b.new_block();
+        self.b.cond_br(c, then_bb, else_bb.unwrap_or(join));
+
+        self.b.switch_to(then_bb);
+        self.lower_block(then_body)?;
+        if !self.b.is_terminated() {
+            self.b.br(join);
+        }
+        if let Some(eb) = else_bb {
+            self.b.switch_to(eb);
+            self.lower_block(else_body)?;
+            if !self.b.is_terminated() {
+                self.b.br(join);
+            }
+        }
+        self.b.switch_to(join);
+        Ok(())
+    }
+
+    fn lower_while(&mut self, cond: &Expr, body: &[Stmt], pos: Pos) -> LResult<()> {
+        self.span(pos);
+        let header = self.b.new_block();
+        let body_bb = self.b.new_block();
+        let exit = self.b.new_block();
+        self.b.br(header);
+        self.b.switch_to(header);
+        self.span(pos);
+        let c = self.lower_cond(cond)?;
+        self.b.cond_br(c, body_bb, exit);
+        self.b.switch_to(body_bb);
+        self.loop_stack.push((header, exit));
+        self.lower_block(body)?;
+        self.loop_stack.pop();
+        if !self.b.is_terminated() {
+            self.b.br(header);
+        }
+        self.b.switch_to(exit);
+        Ok(())
+    }
+
+    fn lower_for(
+        &mut self,
+        init: Option<&Stmt>,
+        cond: Option<&Expr>,
+        step: Option<&Stmt>,
+        body: &[Stmt],
+        pos: Pos,
+    ) -> LResult<()> {
+        self.span(pos);
+        self.scopes.push(HashMap::new());
+        if let Some(s) = init {
+            self.lower_stmt(s)?;
+        }
+        let header = self.b.new_block();
+        let body_bb = self.b.new_block();
+        let step_bb = self.b.new_block();
+        let exit = self.b.new_block();
+        self.b.br(header);
+        self.b.switch_to(header);
+        self.span(pos);
+        match cond {
+            Some(c) => {
+                let v = self.lower_cond(c)?;
+                self.b.cond_br(v, body_bb, exit);
+            }
+            None => self.b.br(body_bb),
+        }
+        self.b.switch_to(body_bb);
+        self.loop_stack.push((step_bb, exit));
+        self.lower_block(body)?;
+        self.loop_stack.pop();
+        if !self.b.is_terminated() {
+            self.b.br(step_bb);
+        }
+        self.b.switch_to(step_bb);
+        self.span(pos);
+        if let Some(s) = step {
+            self.lower_stmt(s)?;
+        }
+        self.b.br(header);
+        self.b.switch_to(exit);
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_return(&mut self, value: Option<&Expr>, pos: Pos) -> LResult<()> {
+        self.span(pos);
+        match (&self.ret_ty.clone(), value) {
+            (Ty::Void, None) => {
+                self.b.ret(None);
+                Ok(())
+            }
+            (Ty::Void, Some(_)) => err("void function returns a value", pos),
+            (_, None) => err("missing return value", pos),
+            (want, Some(e)) => {
+                let (v, vty) = self.lower_expr(e)?;
+                let v = self.coerce(v, &vty, want, e.pos())?;
+                self.b.ret(Some(v));
+                Ok(())
+            }
+        }
+    }
+
+    // ---- places ----
+
+    /// Whether `e` can denote a storage location.
+    fn is_lvalue(e: &Expr) -> bool {
+        matches!(
+            e,
+            Expr::Var(..)
+                | Expr::Index { .. }
+                | Expr::Member { .. }
+                | Expr::Un {
+                    op: UnKind::Deref,
+                    ..
+                }
+        )
+    }
+
+    fn lower_place(&mut self, e: &Expr) -> LResult<Place> {
+        let pos = e.pos();
+        self.span(pos);
+        match e {
+            Expr::Var(name, _) => {
+                if let Some(slot) = self.lookup(name).cloned() {
+                    return Ok(match slot {
+                        Slot::Reg(r, ty) => Place::Reg(r, ty),
+                        Slot::Frame(off, ty) => {
+                            let addr = self.b.frame_addr(off);
+                            Place::Mem(Value::Reg(addr), ty)
+                        }
+                    });
+                }
+                if let Some((gid, ty)) = self.globals.get(name).cloned() {
+                    let addr = self.b.global_addr(gid);
+                    return Ok(Place::Mem(Value::Reg(addr), ty));
+                }
+                err(format!("unknown variable `{name}`"), pos)
+            }
+            Expr::Index { base, idx, .. } => {
+                let (base_v, shape) = self.lower_index_base(base)?;
+                let (iv, ity) = self.lower_expr(idx)?;
+                if !matches!(ity, Ty::Int) {
+                    return err("array index must be an integer", idx.pos());
+                }
+                let (elem_ty, stride) = match shape {
+                    Ty::Array { elem, dims } if dims.len() > 1 => {
+                        let tail: u64 = dims[1..].iter().product();
+                        let esize = self.size_of(&elem, pos)?;
+                        (
+                            Ty::Array {
+                                elem,
+                                dims: dims[1..].to_vec(),
+                            },
+                            esize * tail,
+                        )
+                    }
+                    Ty::Array { elem, .. } => {
+                        let esize = self.size_of(&elem, pos)?;
+                        ((*elem).clone(), esize)
+                    }
+                    t => {
+                        let esize = self.size_of(&t, pos)?;
+                        (t, esize)
+                    }
+                };
+                let addr = self.b.gep(base_v, vec![(iv, stride as i64)], 0);
+                Ok(Place::Mem(Value::Reg(addr), elem_ty))
+            }
+            Expr::Member {
+                base, field, arrow, ..
+            } => {
+                let (addr, sidx) = if *arrow {
+                    let (v, ty) = self.lower_expr(base)?;
+                    match ty {
+                        Ty::Ptr(inner) => match *inner {
+                            Ty::Struct(i) => (v, i),
+                            other => {
+                                return err(format!("`->` on non-struct pointer {other:?}"), pos)
+                            }
+                        },
+                        other => return err(format!("`->` on non-pointer {other:?}"), pos),
+                    }
+                } else {
+                    let place = self.lower_place(base)?;
+                    match place {
+                        Place::Mem(addr, Ty::Struct(i)) => (addr, i),
+                        other => {
+                            return err(
+                                format!("`.` on non-struct value of type {:?}", other.ty()),
+                                pos,
+                            )
+                        }
+                    }
+                };
+                let layout = self.table.struct_layout(sidx);
+                let (_, fty, off) = layout.field(field).cloned().ok_or_else(|| {
+                    CompileError::new(
+                        format!("struct `{}` has no field `{field}`", layout.name),
+                        pos.line,
+                        pos.col,
+                    )
+                })?;
+                let addr = self.b.gep(addr, vec![], off as i64);
+                Ok(Place::Mem(Value::Reg(addr), fty))
+            }
+            Expr::Un {
+                op: UnKind::Deref,
+                expr,
+                ..
+            } => {
+                let (v, ty) = self.lower_expr(expr)?;
+                match ty {
+                    Ty::Ptr(inner) => Ok(Place::Mem(v, *inner)),
+                    other => err(format!("cannot dereference {other:?}"), pos),
+                }
+            }
+            other => err(format!("expression is not assignable: {other:?}"), pos),
+        }
+    }
+
+    /// Resolves the base of an indexing expression to `(address-or-pointer,
+    /// shape)`, where an `Array` shape means the value is the array's
+    /// address and any other shape means the value is a pointer to it.
+    fn lower_index_base(&mut self, base: &Expr) -> LResult<(Value, Ty)> {
+        if Self::is_lvalue(base) {
+            let place = self.lower_place(base)?;
+            match place {
+                Place::Mem(addr, ty @ Ty::Array { .. }) => return Ok((addr, ty)),
+                Place::Mem(_, Ty::Ptr(_)) | Place::Reg(_, Ty::Ptr(_)) => {
+                    let pos = base.pos();
+                    let inner = match place.ty() {
+                        Ty::Ptr(inner) => (**inner).clone(),
+                        _ => unreachable!(),
+                    };
+                    let v = self.read_place(&place, pos)?;
+                    return Ok((v, inner));
+                }
+                other => {
+                    return err(
+                        format!("cannot index value of type {:?}", other.ty()),
+                        base.pos(),
+                    )
+                }
+            }
+        }
+        let (v, ty) = self.lower_expr(base)?;
+        match ty {
+            Ty::Ptr(inner) => Ok((v, *inner)),
+            other => err(format!("cannot index value of type {other:?}"), base.pos()),
+        }
+    }
+
+    fn read_place(&mut self, place: &Place, pos: Pos) -> LResult<Value> {
+        match place {
+            Place::Reg(r, _) => Ok(Value::Reg(*r)),
+            Place::Mem(addr, ty) => {
+                let scalar = ty.scalar().ok_or_else(|| {
+                    CompileError::new("cannot read aggregate by value", pos.line, pos.col)
+                })?;
+                Ok(Value::Reg(self.b.load(scalar, *addr)))
+            }
+        }
+    }
+
+    fn write_place(&mut self, place: &Place, value: Value, pos: Pos) -> LResult<()> {
+        match place {
+            Place::Reg(r, ty) => {
+                let scalar = ty.scalar().expect("register places are scalar");
+                self.b.copy(*r, value, scalar);
+                Ok(())
+            }
+            Place::Mem(addr, ty) => {
+                let scalar = ty.scalar().ok_or_else(|| {
+                    CompileError::new("cannot assign aggregates", pos.line, pos.col)
+                })?;
+                self.b.store(scalar, *addr, value);
+                Ok(())
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn lower_expr(&mut self, e: &Expr) -> LResult<(Value, Ty)> {
+        let pos = e.pos();
+        self.span(pos);
+        match e {
+            Expr::IntLit(v, _) => Ok((Value::ImmInt(*v), Ty::Int)),
+            Expr::FloatLit(v, _) => Ok((Value::ImmFloat(*v), Ty::F64)),
+            Expr::BoolLit(b, _) => Ok((Value::ImmInt(*b as i64), Ty::Bool)),
+            Expr::Var(name, _) => {
+                // Compile-time constant?
+                if self.lookup(name).is_none() && !self.globals.contains_key(name) {
+                    if let Some(v) = self.table.const_value(name) {
+                        return Ok((Value::ImmInt(v), Ty::Int));
+                    }
+                }
+                let place = self.lower_place(e)?;
+                self.place_to_value(place, pos)
+            }
+            Expr::Index { .. } | Expr::Member { .. } => {
+                let place = self.lower_place(e)?;
+                self.place_to_value(place, pos)
+            }
+            Expr::Un { op, expr, .. } => match op {
+                UnKind::Neg => {
+                    let (v, ty) = self.lower_expr(expr)?;
+                    match ty {
+                        Ty::Int => Ok((
+                            Value::Reg(self.b.unop(UnOp::INeg, ScalarTy::I64, v)),
+                            Ty::Int,
+                        )),
+                        Ty::F32 | Ty::F64 => {
+                            let s = ty.scalar().unwrap();
+                            Ok((Value::Reg(self.b.unop(UnOp::FNeg, s, v)), ty))
+                        }
+                        other => err(format!("cannot negate {other:?}"), pos),
+                    }
+                }
+                UnKind::Not => {
+                    let c = self.lower_cond(e)?;
+                    Ok((c, Ty::Bool))
+                }
+                UnKind::Deref => {
+                    let place = self.lower_place(e)?;
+                    self.place_to_value(place, pos)
+                }
+                UnKind::AddrOf => {
+                    let place = self.lower_place(expr)?;
+                    match place {
+                        Place::Mem(addr, ty) => {
+                            // `&a` for arrays yields a pointer to the first
+                            // element (C decay behaviour is close enough).
+                            let pointee = match ty {
+                                Ty::Array { elem, dims } if dims.len() > 1 => Ty::Array {
+                                    elem,
+                                    dims: dims[1..].to_vec(),
+                                },
+                                Ty::Array { elem, .. } => *elem,
+                                other => other,
+                            };
+                            Ok((addr, Ty::Ptr(Box::new(pointee))))
+                        }
+                        Place::Reg(..) => err(
+                            "cannot take the address of a register variable (internal: \
+                             pre-scan should have homed it)",
+                            pos,
+                        ),
+                    }
+                }
+            },
+            Expr::Bin { op, lhs, rhs, .. } => match op {
+                BinKind::And | BinKind::Or => {
+                    let v = self.lower_cond(e)?;
+                    Ok((v, Ty::Bool))
+                }
+                BinKind::Eq | BinKind::Ne | BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge => {
+                    let (lv, lty) = self.lower_expr(lhs)?;
+                    let (rv, rty) = self.lower_expr(rhs)?;
+                    let v = self.lower_comparison(*op, lv, lty, rv, rty, pos)?;
+                    Ok((v, Ty::Bool))
+                }
+                _ => {
+                    let (lv, lty) = self.lower_expr(lhs)?;
+                    let (rv, rty) = self.lower_expr(rhs)?;
+                    self.numeric_bin(*op, lv, lty, rv, rty, pos)
+                }
+            },
+            Expr::Call { .. } => self.lower_call_expr(e, false),
+            Expr::Cast { ty, expr, .. } => {
+                let want = self.table.resolve(ty, pos.line, pos.col)?;
+                let (v, vty) = self.lower_expr(expr)?;
+                let v = self.coerce_explicit(v, &vty, &want, pos)?;
+                Ok((v, want))
+            }
+        }
+    }
+
+    /// Materializes a place as an rvalue (with array decay).
+    fn place_to_value(&mut self, place: Place, pos: Pos) -> LResult<(Value, Ty)> {
+        match place {
+            Place::Reg(r, ty) => Ok((Value::Reg(r), ty)),
+            Place::Mem(addr, Ty::Array { elem, dims }) => {
+                // Array decay: the value of an array is its address.
+                let pointee = if dims.len() > 1 {
+                    Ty::Array {
+                        elem,
+                        dims: dims[1..].to_vec(),
+                    }
+                } else {
+                    *elem
+                };
+                Ok((addr, Ty::Ptr(Box::new(pointee))))
+            }
+            Place::Mem(_, Ty::Struct(_)) => err("structs cannot be used by value", pos),
+            Place::Mem(addr, ty) => {
+                let scalar = ty.scalar().expect("scalar place");
+                Ok((Value::Reg(self.b.load(scalar, addr)), ty))
+            }
+        }
+    }
+
+    fn lower_comparison(
+        &mut self,
+        op: BinKind,
+        lv: Value,
+        lty: Ty,
+        rv: Value,
+        rty: Ty,
+        pos: Pos,
+    ) -> LResult<Value> {
+        let cmp = match op {
+            BinKind::Eq => CmpOp::Eq,
+            BinKind::Ne => CmpOp::Ne,
+            BinKind::Lt => CmpOp::Lt,
+            BinKind::Le => CmpOp::Le,
+            BinKind::Gt => CmpOp::Gt,
+            BinKind::Ge => CmpOp::Ge,
+            _ => unreachable!("not a comparison"),
+        };
+        // Pointer comparisons compare as integers.
+        if matches!(lty, Ty::Ptr(_)) || matches!(rty, Ty::Ptr(_)) {
+            return Ok(Value::Reg(self.b.cmp(cmp, ScalarTy::Ptr, lv, rv)));
+        }
+        if matches!(lty, Ty::Bool) && matches!(rty, Ty::Bool) {
+            return Ok(Value::Reg(self.b.cmp(cmp, ScalarTy::I64, lv, rv)));
+        }
+        let common = self.common_numeric(&lty, &rty, pos)?;
+        let lv = self.coerce(lv, &lty, &common, pos)?;
+        let rv = self.coerce(rv, &rty, &common, pos)?;
+        Ok(Value::Reg(self.b.cmp(cmp, common.scalar().unwrap(), lv, rv)))
+    }
+
+    fn numeric_bin(
+        &mut self,
+        op: BinKind,
+        lv: Value,
+        lty: Ty,
+        rv: Value,
+        rty: Ty,
+        pos: Pos,
+    ) -> LResult<(Value, Ty)> {
+        // Pointer arithmetic.
+        if let Ty::Ptr(inner) = &lty {
+            if matches!(rty, Ty::Int) && matches!(op, BinKind::Add | BinKind::Sub) {
+                let size = self.size_of(inner, pos)? as i64;
+                let scale = if op == BinKind::Add { size } else { -size };
+                let r = self.b.gep(lv, vec![(rv, scale)], 0);
+                return Ok((Value::Reg(r), lty));
+            }
+            return err("unsupported pointer arithmetic", pos);
+        }
+        if let Ty::Ptr(inner) = &rty {
+            if matches!(lty, Ty::Int) && op == BinKind::Add {
+                let size = self.size_of(inner, pos)? as i64;
+                let r = self.b.gep(rv, vec![(lv, size)], 0);
+                return Ok((Value::Reg(r), rty.clone()));
+            }
+            return err("unsupported pointer arithmetic", pos);
+        }
+
+        let mut common = self.common_numeric(&lty, &rty, pos)?;
+        // A float literal mixed with an f32 value stays in f32 (C would
+        // promote to double, but Kern has no `f` literal suffix; this keeps
+        // single-precision kernels single-precision).
+        if common == Ty::F64
+            && ((lty == Ty::F32 && matches!(rv, Value::ImmFloat(_)))
+                || (rty == Ty::F32 && matches!(lv, Value::ImmFloat(_))))
+        {
+            common = Ty::F32;
+        }
+        let lv = self.coerce(lv, &lty, &common, pos)?;
+        let rv = self.coerce(rv, &rty, &common, pos)?;
+        let scalar = common.scalar().unwrap();
+        let irop = match (op, common.is_float()) {
+            (BinKind::Add, false) => BinOp::IAdd,
+            (BinKind::Sub, false) => BinOp::ISub,
+            (BinKind::Mul, false) => BinOp::IMul,
+            (BinKind::Div, false) => BinOp::IDiv,
+            (BinKind::Rem, false) => BinOp::IRem,
+            (BinKind::Add, true) => BinOp::FAdd,
+            (BinKind::Sub, true) => BinOp::FSub,
+            (BinKind::Mul, true) => BinOp::FMul,
+            (BinKind::Div, true) => BinOp::FDiv,
+            (BinKind::Rem, true) => return err("`%` requires integer operands", pos),
+            _ => return err(format!("unsupported operator {op:?}"), pos),
+        };
+        Ok((Value::Reg(self.b.binop(irop, scalar, lv, rv)), common))
+    }
+
+    fn common_numeric(&self, a: &Ty, b: &Ty, pos: Pos) -> LResult<Ty> {
+        let rank = |t: &Ty| match t {
+            Ty::Bool => Some(0),
+            Ty::Int => Some(1),
+            Ty::F32 => Some(2),
+            Ty::F64 => Some(3),
+            _ => None,
+        };
+        match (rank(a), rank(b)) {
+            (Some(x), Some(y)) => {
+                let r = x.max(y).max(1); // bool promotes to int
+                Ok(match r {
+                    1 => Ty::Int,
+                    2 => Ty::F32,
+                    3 => Ty::F64,
+                    _ => unreachable!(),
+                })
+            }
+            _ => err(
+                format!("operands are not numeric: {a:?} vs {b:?}"),
+                pos,
+            ),
+        }
+    }
+
+    /// Implicit conversion (numeric widening/narrowing, C-style).
+    fn coerce(&mut self, v: Value, from: &Ty, to: &Ty, pos: Pos) -> LResult<Value> {
+        if from == to {
+            return Ok(v);
+        }
+        match (from, to) {
+            (Ty::Bool, Ty::Int) | (Ty::Int, Ty::Bool) => Ok(v),
+            (Ty::Ptr(_), Ty::Ptr(_)) => Ok(v),
+            _ => {
+                let (fs, ts) = match (from.scalar(), to.scalar()) {
+                    (Some(f), Some(t)) => (f, t),
+                    _ => return err(format!("cannot convert {from:?} to {to:?}"), pos),
+                };
+                if !from.is_numeric() && !matches!(from, Ty::Bool) {
+                    return err(format!("cannot convert {from:?} to {to:?}"), pos);
+                }
+                if !to.is_numeric() && !matches!(to, Ty::Bool) {
+                    return err(format!("cannot convert {from:?} to {to:?}"), pos);
+                }
+                // Immediate folding for literals.
+                match (v, ts) {
+                    (Value::ImmInt(i), ScalarTy::F64 | ScalarTy::F32) => {
+                        return Ok(Value::ImmFloat(i as f64))
+                    }
+                    (Value::ImmFloat(x), ScalarTy::I64) => return Ok(Value::ImmInt(x as i64)),
+                    _ => {}
+                }
+                Ok(Value::Reg(self.b.cast(fs, ts, v)))
+            }
+        }
+    }
+
+    /// Explicit `(T)x` conversion: also allows pointer/int reinterpretation.
+    fn coerce_explicit(&mut self, v: Value, from: &Ty, to: &Ty, pos: Pos) -> LResult<Value> {
+        match (from, to) {
+            (Ty::Ptr(_), Ty::Int) | (Ty::Int, Ty::Ptr(_)) => {
+                let fs = from.scalar().unwrap();
+                let ts = to.scalar().unwrap();
+                Ok(Value::Reg(self.b.cast(fs, ts, v)))
+            }
+            _ => self.coerce(v, from, to, pos),
+        }
+    }
+
+    /// Lowers a condition expression to an `i64` 0/1 value, applying
+    /// short-circuit evaluation for `&&`/`||`.
+    fn lower_cond(&mut self, e: &Expr) -> LResult<Value> {
+        let pos = e.pos();
+        self.span(pos);
+        match e {
+            Expr::Bin {
+                op: op @ (BinKind::And | BinKind::Or),
+                lhs,
+                rhs,
+                ..
+            } => {
+                // result register, written in both arms.
+                let result = self.b.new_reg(ScalarTy::I64);
+                let lv = self.lower_cond(lhs)?;
+                self.b.copy(result, lv, ScalarTy::I64);
+                let more = self.b.new_block();
+                let done = self.b.new_block();
+                if *op == BinKind::And {
+                    self.b.cond_br(lv, more, done);
+                } else {
+                    self.b.cond_br(lv, done, more);
+                }
+                self.b.switch_to(more);
+                let rv = self.lower_cond(rhs)?;
+                self.b.copy(result, rv, ScalarTy::I64);
+                self.b.br(done);
+                self.b.switch_to(done);
+                Ok(Value::Reg(result))
+            }
+            Expr::Un {
+                op: UnKind::Not,
+                expr,
+                ..
+            } => {
+                let v = self.lower_cond(expr)?;
+                Ok(Value::Reg(self.b.cmp(
+                    CmpOp::Eq,
+                    ScalarTy::I64,
+                    v,
+                    Value::ImmInt(0),
+                )))
+            }
+            _ => {
+                let (v, ty) = self.lower_expr(e)?;
+                match ty {
+                    Ty::Bool => Ok(v),
+                    Ty::Int | Ty::Ptr(_) => Ok(Value::Reg(self.b.cmp(
+                        CmpOp::Ne,
+                        ScalarTy::I64,
+                        v,
+                        Value::ImmInt(0),
+                    ))),
+                    Ty::F32 | Ty::F64 => {
+                        let s = ty.scalar().unwrap();
+                        Ok(Value::Reg(self.b.cmp(CmpOp::Ne, s, v, Value::ImmFloat(0.0))))
+                    }
+                    other => err(format!("{other:?} is not a valid condition"), pos),
+                }
+            }
+        }
+    }
+
+    /// Lowers a call; `statement` allows void results.
+    fn lower_call_expr(&mut self, e: &Expr, statement: bool) -> LResult<(Value, Ty)> {
+        let Expr::Call { name, args, pos } = e else {
+            unreachable!("lower_call_expr on non-call");
+        };
+        self.span(*pos);
+        // Math builtin?
+        if let Some(intr) = Intrinsic::from_name(name) {
+            if args.len() != intr.arity() {
+                return err(
+                    format!("`{name}` takes {} arguments, got {}", intr.arity(), args.len()),
+                    *pos,
+                );
+            }
+            let mut vals = Vec::new();
+            for a in args {
+                let (v, ty) = self.lower_expr(a)?;
+                let v = self.coerce(v, &ty, &Ty::F64, a.pos())?;
+                vals.push(v);
+            }
+            let r = self.b.intrinsic(intr, ScalarTy::F64, vals);
+            return Ok((Value::Reg(r), Ty::F64));
+        }
+
+        let callee = self.b.module().lookup_function(name).ok_or_else(|| {
+            CompileError::new(
+                format!("unknown function `{name}` (functions must be defined before use)"),
+                pos.line,
+                pos.col,
+            )
+        })?;
+        let param_tys: Vec<ScalarTy> = {
+            let f = self.b.module().function(callee);
+            f.params().iter().map(|&r| f.reg(r).ty).collect()
+        };
+        if param_tys.len() != args.len() {
+            return err(
+                format!(
+                    "`{name}` takes {} arguments, got {}",
+                    param_tys.len(),
+                    args.len()
+                ),
+                *pos,
+            );
+        }
+        let mut vals = Vec::new();
+        for (a, want) in args.iter().zip(&param_tys) {
+            let (v, ty) = self.lower_expr(a)?;
+            let have = ty.scalar().ok_or_else(|| {
+                CompileError::new("aggregate call arguments are not supported", pos.line, pos.col)
+            })?;
+            let v = if have == *want {
+                v
+            } else {
+                // Numeric conversion to the parameter's machine type.
+                let to = match want {
+                    ScalarTy::I64 => Ty::Int,
+                    ScalarTy::F32 => Ty::F32,
+                    ScalarTy::F64 => Ty::F64,
+                    ScalarTy::Ptr => {
+                        return err(format!("argument type mismatch calling `{name}`"), *pos)
+                    }
+                };
+                self.coerce(v, &ty, &to, a.pos())?
+            };
+            vals.push(v);
+        }
+        let ret = self.b.call(callee, vals);
+        let ret_ty = self.b.module().function(callee).ret_ty();
+        match (ret, ret_ty) {
+            (Some(r), Some(s)) => {
+                let ty = match s {
+                    ScalarTy::I64 => Ty::Int,
+                    ScalarTy::F32 => Ty::F32,
+                    ScalarTy::F64 => Ty::F64,
+                    ScalarTy::Ptr => Ty::Ptr(Box::new(Ty::Void)),
+                };
+                Ok((Value::Reg(r), ty))
+            }
+            (None, None) if statement => Ok((Value::ImmInt(0), Ty::Void)),
+            (None, None) => err(format!("void function `{name}` used as a value"), *pos),
+            _ => unreachable!("builder/call invariant"),
+        }
+    }
+}

@@ -1,0 +1,830 @@
+//! Recursive-descent parser for Kern.
+
+use crate::ast::*;
+use crate::lexer::{Keyword, Punct, Token, TokenKind};
+use crate::CompileError;
+use std::collections::HashSet;
+
+/// Recursive-descent parser with operator-precedence expression parsing.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    struct_names: HashSet<String>,
+}
+
+type PResult<T> = Result<T, CompileError>;
+
+impl Parser {
+    /// Creates a parser over `tokens` (as produced by the lexer).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            struct_names: HashSet::new(),
+        }
+    }
+
+    /// Parses a whole translation unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn parse_program(mut self) -> PResult<Program> {
+        let mut program = Program {
+            structs: Vec::new(),
+            consts: Vec::new(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+        };
+        while !self.at_eof() {
+            if self.check_kw(Keyword::Struct) && self.peek_is_struct_decl() {
+                let s = self.parse_struct_decl()?;
+                self.struct_names.insert(s.name.clone());
+                program.structs.push(s);
+            } else if self.check_kw(Keyword::Const) {
+                program.consts.push(self.parse_const_decl()?);
+            } else {
+                self.parse_top_item(&mut program)?;
+            }
+        }
+        Ok(program)
+    }
+
+    // ---- token helpers ----
+
+    fn cur(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.cur().kind, TokenKind::Eof)
+    }
+
+    fn pos_of(&self, t: &Token) -> Pos {
+        Pos::new(t.line, t.col)
+    }
+
+    fn cur_pos(&self) -> Pos {
+        self.pos_of(self.cur())
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.cur().clone();
+        if !self.at_eof() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        let p = self.cur_pos();
+        Err(CompileError::new(msg, p.line, p.col))
+    }
+
+    fn check_punct(&self, p: Punct) -> bool {
+        matches!(&self.cur().kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    fn check_kw(&self, k: Keyword) -> bool {
+        matches!(&self.cur().kind, TokenKind::Keyword(q) if *q == k)
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.check_punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> PResult<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.error(format!("expected {what}, found {:?}", self.cur().kind))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> PResult<(String, Pos)> {
+        let pos = self.cur_pos();
+        match self.cur().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok((name, pos))
+            }
+            other => self.error(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn nth_kind(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    // ---- types ----
+
+    /// Whether the current token begins a type (keyword type or known struct
+    /// name).
+    fn at_type(&self) -> bool {
+        match &self.cur().kind {
+            TokenKind::Keyword(
+                Keyword::Int | Keyword::Double | Keyword::Float | Keyword::Bool | Keyword::Void,
+            ) => true,
+            TokenKind::Keyword(Keyword::Struct) => true,
+            TokenKind::Ident(name) => self.struct_names.contains(name),
+            _ => false,
+        }
+    }
+
+    fn parse_base_type(&mut self) -> PResult<TypeExpr> {
+        let base = match self.cur().kind.clone() {
+            TokenKind::Keyword(Keyword::Int) => {
+                self.advance();
+                TypeExpr::Int
+            }
+            TokenKind::Keyword(Keyword::Double) => {
+                self.advance();
+                TypeExpr::Double
+            }
+            TokenKind::Keyword(Keyword::Float) => {
+                self.advance();
+                TypeExpr::Float
+            }
+            TokenKind::Keyword(Keyword::Bool) => {
+                self.advance();
+                TypeExpr::Bool
+            }
+            TokenKind::Keyword(Keyword::Void) => {
+                self.advance();
+                TypeExpr::Void
+            }
+            TokenKind::Keyword(Keyword::Struct) => {
+                self.advance();
+                let (name, _) = self.expect_ident("struct name")?;
+                TypeExpr::Struct(name)
+            }
+            TokenKind::Ident(name) if self.struct_names.contains(&name) => {
+                self.advance();
+                TypeExpr::Struct(name)
+            }
+            other => return self.error(format!("expected type, found {other:?}")),
+        };
+        Ok(self.parse_ptr_suffix(base))
+    }
+
+    fn parse_ptr_suffix(&mut self, mut ty: TypeExpr) -> TypeExpr {
+        while self.check_punct(Punct::Star) {
+            self.advance();
+            ty = TypeExpr::Ptr(Box::new(ty));
+        }
+        ty
+    }
+
+    // ---- declarations ----
+
+    /// `struct name { ... };` — distinguished from `struct name var;` by the
+    /// token after the name.
+    fn peek_is_struct_decl(&self) -> bool {
+        matches!(self.nth_kind(1), TokenKind::Ident(_))
+            && matches!(self.nth_kind(2), TokenKind::Punct(Punct::LBrace))
+    }
+
+    fn parse_struct_decl(&mut self) -> PResult<StructDecl> {
+        let pos = self.cur_pos();
+        self.advance(); // struct
+        let (name, _) = self.expect_ident("struct name")?;
+        self.expect_punct(Punct::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            let fpos = self.cur_pos();
+            let ty = self.parse_base_type()?;
+            let (fname, _) = self.expect_ident("field name")?;
+            let mut dims = Vec::new();
+            while self.eat_punct(Punct::LBracket) {
+                dims.push(self.parse_expr()?);
+                self.expect_punct(Punct::RBracket, "`]`")?;
+            }
+            self.expect_punct(Punct::Semi, "`;` after field")?;
+            fields.push(FieldDecl {
+                ty,
+                name: fname,
+                dims,
+                pos: fpos,
+            });
+        }
+        self.eat_punct(Punct::Semi); // trailing `;` optional
+        Ok(StructDecl { name, fields, pos })
+    }
+
+    fn parse_const_decl(&mut self) -> PResult<ConstDecl> {
+        let pos = self.cur_pos();
+        self.advance(); // const
+        let _ty = self.parse_base_type()?;
+        let (name, _) = self.expect_ident("constant name")?;
+        self.expect_punct(Punct::Assign, "`=`")?;
+        let value = self.parse_expr()?;
+        self.expect_punct(Punct::Semi, "`;`")?;
+        Ok(ConstDecl { name, value, pos })
+    }
+
+    /// Global variable or function definition.
+    fn parse_top_item(&mut self, program: &mut Program) -> PResult<()> {
+        let pos = self.cur_pos();
+        let ty = self.parse_base_type()?;
+        let (name, _) = self.expect_ident("name")?;
+        if self.check_punct(Punct::LParen) {
+            program.funcs.push(self.parse_func_rest(ty, name, pos)?);
+            Ok(())
+        } else {
+            // One or more comma-separated declarators of the same type.
+            self.parse_more_globals(program, ty, name, pos)
+        }
+    }
+
+    fn parse_more_globals(
+        &mut self,
+        program: &mut Program,
+        ty: TypeExpr,
+        mut name: String,
+        pos: Pos,
+    ) -> PResult<()> {
+        loop {
+            let mut dims = Vec::new();
+            while self.eat_punct(Punct::LBracket) {
+                dims.push(self.parse_expr()?);
+                self.expect_punct(Punct::RBracket, "`]`")?;
+            }
+            let init = if self.eat_punct(Punct::Assign) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            program.globals.push(GlobalDecl {
+                ty: ty.clone(),
+                name,
+                dims,
+                init,
+                pos,
+            });
+            if self.eat_punct(Punct::Comma) {
+                let (next, _) = self.expect_ident("name")?;
+                name = next;
+                continue;
+            }
+            self.expect_punct(Punct::Semi, "`;`")?;
+            return Ok(());
+        }
+    }
+
+    fn parse_func_rest(&mut self, ret: TypeExpr, name: String, pos: Pos) -> PResult<FuncDecl> {
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(Punct::RParen) {
+            loop {
+                let ppos = self.cur_pos();
+                let ty = self.parse_base_type()?;
+                let (pname, _) = self.expect_ident("parameter name")?;
+                let mut dims: Vec<Option<Expr>> = Vec::new();
+                while self.eat_punct(Punct::LBracket) {
+                    if self.eat_punct(Punct::RBracket) {
+                        dims.push(None);
+                    } else {
+                        dims.push(Some(self.parse_expr()?));
+                        self.expect_punct(Punct::RBracket, "`]`")?;
+                    }
+                }
+                params.push(ParamDecl {
+                    ty,
+                    name: pname,
+                    dims,
+                    pos: ppos,
+                });
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.expect_punct(Punct::RParen, "`)`")?;
+        }
+        let body = self.parse_block()?;
+        Ok(FuncDecl {
+            ret,
+            name,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    // ---- statements ----
+
+    fn parse_block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_punct(Punct::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct(Punct::RBrace) {
+            if self.at_eof() {
+                return self.error("unexpected end of input in block");
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> PResult<Stmt> {
+        let pos = self.cur_pos();
+        if self.check_punct(Punct::LBrace) {
+            return Ok(Stmt::Block(self.parse_block()?));
+        }
+        if self.check_kw(Keyword::If) {
+            return self.parse_if();
+        }
+        if self.check_kw(Keyword::While) {
+            self.advance();
+            self.expect_punct(Punct::LParen, "`(`")?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(Punct::RParen, "`)`")?;
+            let body = self.parse_stmt_as_block()?;
+            return Ok(Stmt::While { cond, body, pos });
+        }
+        if self.check_kw(Keyword::For) {
+            return self.parse_for();
+        }
+        if self.check_kw(Keyword::Return) {
+            self.advance();
+            let value = if self.check_punct(Punct::Semi) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
+            self.expect_punct(Punct::Semi, "`;`")?;
+            return Ok(Stmt::Return(value, pos));
+        }
+        if self.check_kw(Keyword::Break) {
+            self.advance();
+            self.expect_punct(Punct::Semi, "`;`")?;
+            return Ok(Stmt::Break(pos));
+        }
+        if self.check_kw(Keyword::Continue) {
+            self.advance();
+            self.expect_punct(Punct::Semi, "`;`")?;
+            return Ok(Stmt::Continue(pos));
+        }
+        if self.at_type() && !self.type_is_cast_paren() {
+            let s = self.parse_local_decl()?;
+            self.expect_punct(Punct::Semi, "`;`")?;
+            return Ok(s);
+        }
+        let s = self.parse_assign_or_expr()?;
+        self.expect_punct(Punct::Semi, "`;`")?;
+        Ok(s)
+    }
+
+    /// A statement used where a block is expected (loop/if bodies).
+    fn parse_stmt_as_block(&mut self) -> PResult<Vec<Stmt>> {
+        if self.check_punct(Punct::LBrace) {
+            self.parse_block()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    /// `at_type()` can trigger on a cast at statement position; casts start
+    /// with `(`, types never do, so this is only a safeguard for clarity.
+    fn type_is_cast_paren(&self) -> bool {
+        false
+    }
+
+    fn parse_local_decl(&mut self) -> PResult<Stmt> {
+        let pos = self.cur_pos();
+        let ty = self.parse_base_type()?;
+        let (name, _) = self.expect_ident("variable name")?;
+        let mut dims = Vec::new();
+        while self.eat_punct(Punct::LBracket) {
+            dims.push(self.parse_expr()?);
+            self.expect_punct(Punct::RBracket, "`]`")?;
+        }
+        let init = if self.eat_punct(Punct::Assign) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Local {
+            ty,
+            name,
+            dims,
+            init,
+            pos,
+        })
+    }
+
+    fn parse_if(&mut self) -> PResult<Stmt> {
+        let pos = self.cur_pos();
+        self.advance(); // if
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let cond = self.parse_expr()?;
+        self.expect_punct(Punct::RParen, "`)`")?;
+        let then_body = self.parse_stmt_as_block()?;
+        let else_body = if self.check_kw(Keyword::Else) {
+            self.advance();
+            if self.check_kw(Keyword::If) {
+                vec![self.parse_if()?]
+            } else {
+                self.parse_stmt_as_block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            pos,
+        })
+    }
+
+    fn parse_for(&mut self) -> PResult<Stmt> {
+        let pos = self.cur_pos();
+        self.advance(); // for
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let init = if self.check_punct(Punct::Semi) {
+            None
+        } else if self.at_type() {
+            Some(Box::new(self.parse_local_decl()?))
+        } else {
+            Some(Box::new(self.parse_assign_or_expr()?))
+        };
+        self.expect_punct(Punct::Semi, "`;` in for")?;
+        let cond = if self.check_punct(Punct::Semi) {
+            None
+        } else {
+            Some(self.parse_expr()?)
+        };
+        self.expect_punct(Punct::Semi, "`;` in for")?;
+        let step = if self.check_punct(Punct::RParen) {
+            None
+        } else {
+            Some(Box::new(self.parse_assign_or_expr()?))
+        };
+        self.expect_punct(Punct::RParen, "`)`")?;
+        let body = self.parse_stmt_as_block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            pos,
+        })
+    }
+
+    /// Assignment, compound assignment, increment/decrement, or a bare
+    /// expression (call) — without the trailing `;`.
+    fn parse_assign_or_expr(&mut self) -> PResult<Stmt> {
+        let pos = self.cur_pos();
+        let lhs = self.parse_expr()?;
+        let op = match &self.cur().kind {
+            TokenKind::Punct(Punct::Assign) => Some(None),
+            TokenKind::Punct(Punct::PlusAssign) => Some(Some(BinKind::Add)),
+            TokenKind::Punct(Punct::MinusAssign) => Some(Some(BinKind::Sub)),
+            TokenKind::Punct(Punct::StarAssign) => Some(Some(BinKind::Mul)),
+            TokenKind::Punct(Punct::SlashAssign) => Some(Some(BinKind::Div)),
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.advance();
+                return Ok(Stmt::IncDec {
+                    target: lhs,
+                    inc: true,
+                    pos,
+                });
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.advance();
+                return Ok(Stmt::IncDec {
+                    target: lhs,
+                    inc: false,
+                    pos,
+                });
+            }
+            _ => None,
+        };
+        match op {
+            Some(compound) => {
+                self.advance();
+                let rhs = self.parse_expr()?;
+                Ok(Stmt::Assign {
+                    lhs,
+                    op: compound,
+                    rhs,
+                    pos,
+                })
+            }
+            None => Ok(Stmt::Expr(lhs)),
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    /// Parses a full expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error encountered.
+    pub fn parse_expr(&mut self) -> PResult<Expr> {
+        self.parse_bin(0)
+    }
+
+    fn bin_op_of(&self) -> Option<(BinKind, u8)> {
+        let op = match &self.cur().kind {
+            TokenKind::Punct(Punct::OrOr) => (BinKind::Or, 1),
+            TokenKind::Punct(Punct::AndAnd) => (BinKind::And, 2),
+            TokenKind::Punct(Punct::Eq) => (BinKind::Eq, 3),
+            TokenKind::Punct(Punct::Ne) => (BinKind::Ne, 3),
+            TokenKind::Punct(Punct::Lt) => (BinKind::Lt, 4),
+            TokenKind::Punct(Punct::Le) => (BinKind::Le, 4),
+            TokenKind::Punct(Punct::Gt) => (BinKind::Gt, 4),
+            TokenKind::Punct(Punct::Ge) => (BinKind::Ge, 4),
+            TokenKind::Punct(Punct::Plus) => (BinKind::Add, 5),
+            TokenKind::Punct(Punct::Minus) => (BinKind::Sub, 5),
+            TokenKind::Punct(Punct::Star) => (BinKind::Mul, 6),
+            TokenKind::Punct(Punct::Slash) => (BinKind::Div, 6),
+            TokenKind::Punct(Punct::Percent) => (BinKind::Rem, 6),
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> PResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((op, prec)) = self.bin_op_of() {
+            if prec < min_prec {
+                break;
+            }
+            let pos = self.cur_pos();
+            self.advance();
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                pos,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        let pos = self.cur_pos();
+        let op = match &self.cur().kind {
+            TokenKind::Punct(Punct::Minus) => Some(UnKind::Neg),
+            TokenKind::Punct(Punct::Not) => Some(UnKind::Not),
+            TokenKind::Punct(Punct::Star) => Some(UnKind::Deref),
+            TokenKind::Punct(Punct::Amp) => Some(UnKind::AddrOf),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let expr = self.parse_unary()?;
+            return Ok(Expr::Un {
+                op,
+                expr: Box::new(expr),
+                pos,
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> PResult<Expr> {
+        let mut expr = self.parse_primary()?;
+        loop {
+            let pos = self.cur_pos();
+            if self.eat_punct(Punct::LBracket) {
+                let idx = self.parse_expr()?;
+                self.expect_punct(Punct::RBracket, "`]`")?;
+                expr = Expr::Index {
+                    base: Box::new(expr),
+                    idx: Box::new(idx),
+                    pos,
+                };
+            } else if self.eat_punct(Punct::Dot) {
+                let (field, _) = self.expect_ident("field name")?;
+                expr = Expr::Member {
+                    base: Box::new(expr),
+                    field,
+                    arrow: false,
+                    pos,
+                };
+            } else if self.eat_punct(Punct::Arrow) {
+                let (field, _) = self.expect_ident("field name")?;
+                expr = Expr::Member {
+                    base: Box::new(expr),
+                    field,
+                    arrow: true,
+                    pos,
+                };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        let pos = self.cur_pos();
+        match self.cur().kind.clone() {
+            TokenKind::IntLit(v) => {
+                self.advance();
+                Ok(Expr::IntLit(v, pos))
+            }
+            TokenKind::FloatLit(v) => {
+                self.advance();
+                Ok(Expr::FloatLit(v, pos))
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.advance();
+                Ok(Expr::BoolLit(true, pos))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.advance();
+                Ok(Expr::BoolLit(false, pos))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.eat_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_punct(Punct::RParen, "`)`")?;
+                    }
+                    Ok(Expr::Call { name, args, pos })
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.advance();
+                // Cast `(T)expr` vs. parenthesized expression.
+                if self.at_type() {
+                    let ty = self.parse_base_type()?;
+                    self.expect_punct(Punct::RParen, "`)` after cast type")?;
+                    let expr = self.parse_unary()?;
+                    Ok(Expr::Cast {
+                        ty,
+                        expr: Box::new(expr),
+                        pos,
+                    })
+                } else {
+                    let e = self.parse_expr()?;
+                    self.expect_punct(Punct::RParen, "`)`")?;
+                    Ok(e)
+                }
+            }
+            other => self.error(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::Lexer;
+
+    fn parse_prog(src: &str) -> Program {
+        Parser::new(Lexer::new(src).tokenize().unwrap())
+            .parse_program()
+            .unwrap()
+    }
+
+    fn parse_expr_str(src: &str) -> Expr {
+        let mut p = Parser::new(Lexer::new(src).tokenize().unwrap());
+        p.parse_expr().unwrap()
+    }
+
+    #[test]
+    fn precedence() {
+        // a + b * c parses as a + (b * c)
+        let e = parse_expr_str("a + b * c");
+        match e {
+            Expr::Bin { op: BinKind::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Bin { op: BinKind::Mul, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arith() {
+        let e = parse_expr_str("i < n + 1");
+        assert!(matches!(e, Expr::Bin { op: BinKind::Lt, .. }));
+    }
+
+    #[test]
+    fn logical_ops() {
+        let e = parse_expr_str("a == 0 || b == 1 && c < 2");
+        // || at top (lowest precedence)
+        assert!(matches!(e, Expr::Bin { op: BinKind::Or, .. }));
+    }
+
+    #[test]
+    fn postfix_chains() {
+        let e = parse_expr_str("b[j][i].x");
+        assert!(matches!(e, Expr::Member { .. }));
+        let e = parse_expr_str("p->x");
+        assert!(matches!(e, Expr::Member { arrow: true, .. }));
+    }
+
+    #[test]
+    fn cast_expression() {
+        let e = parse_expr_str("(double)n");
+        assert!(matches!(e, Expr::Cast { ty: TypeExpr::Double, .. }));
+    }
+
+    #[test]
+    fn unary_chain() {
+        let e = parse_expr_str("-*p");
+        match e {
+            Expr::Un { op: UnKind::Neg, expr, .. } => {
+                assert!(matches!(*expr, Expr::Un { op: UnKind::Deref, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_function() {
+        let p = parse_prog(
+            "double dot(double* a, double* b, int n) {\n\
+               double s = 0.0;\n\
+               for (int i = 0; i < n; i++) { s += a[i] * b[i]; }\n\
+               return s;\n\
+             }",
+        );
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.name, "dot");
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(f.body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn struct_and_globals() {
+        let p = parse_prog(
+            "struct complex { double r; double i; };\n\
+             const int N = 8;\n\
+             complex lattice[N];\n\
+             double A[N][N];\n\
+             void main() { }",
+        );
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.consts.len(), 1);
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].dims.len(), 1);
+        assert_eq!(p.globals[1].dims.len(), 2);
+    }
+
+    #[test]
+    fn array_params_with_open_dim() {
+        let p = parse_prog("void f(double a[][16], int n) { }");
+        let f = &p.funcs[0];
+        assert_eq!(f.params[0].dims.len(), 2);
+        assert!(f.params[0].dims[0].is_none());
+        assert!(f.params[0].dims[1].is_some());
+    }
+
+    #[test]
+    fn if_else_chain() {
+        let p = parse_prog(
+            "void f(int i) { if (i == 0) { } else if (i == 1) { } else { i = 2; } }",
+        );
+        let f = &p.funcs[0];
+        match &f.body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incdec_statements() {
+        let p = parse_prog("void f() { int i = 0; i++; i--; }");
+        let f = &p.funcs[0];
+        assert!(matches!(f.body[1], Stmt::IncDec { inc: true, .. }));
+        assert!(matches!(f.body[2], Stmt::IncDec { inc: false, .. }));
+    }
+
+    #[test]
+    fn error_on_missing_semi() {
+        let tokens = Lexer::new("void f() { int i = 0 }").tokenize().unwrap();
+        assert!(Parser::new(tokens).parse_program().is_err());
+    }
+
+    #[test]
+    fn for_without_decl_init() {
+        let p = parse_prog("void f(int n) { int i; for (i = 0; i < n; i += 2) { } }");
+        let f = &p.funcs[0];
+        assert!(matches!(f.body[1], Stmt::For { .. }));
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-instruction cycle costs used by the profiler.
+
+use vectorscope_ir::{BinOp, InstKind, Intrinsic, TermKind};
+
+/// A table of per-opcode cycle costs.
+///
+/// The absolute values are a generic superscalar model (latency-flavored);
+/// what matters for the reproduction is the *attribution* of time to loops,
+/// which only needs relative costs to be sane — FP division and
+/// transcendentals expensive, simple ALU ops cheap.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_interp::CostModel;
+/// let m = CostModel::default();
+/// assert!(m.fdiv >= m.fadd);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Integer add/sub and comparisons.
+    pub ialu: u64,
+    /// Integer multiply.
+    pub imul: u64,
+    /// Integer divide/remainder.
+    pub idiv: u64,
+    /// FP add/sub.
+    pub fadd: u64,
+    /// FP multiply.
+    pub fmul: u64,
+    /// FP divide.
+    pub fdiv: u64,
+    /// Loads and stores.
+    pub mem: u64,
+    /// Address computation (gep/frame/global addr) and casts/copies.
+    pub addr: u64,
+    /// Branches.
+    pub branch: u64,
+    /// Call/return overhead.
+    pub call: u64,
+    /// Square root.
+    pub sqrt: u64,
+    /// Transcendentals (`exp`, `log`, `sin`, `cos`, `pow`).
+    pub transcendental: u64,
+    /// Cheap FP intrinsics (`fabs`, `floor`, `fmin`, `fmax`).
+    pub fp_simple: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ialu: 1,
+            imul: 3,
+            idiv: 20,
+            fadd: 2,
+            fmul: 3,
+            fdiv: 15,
+            mem: 3,
+            addr: 1,
+            branch: 1,
+            call: 5,
+            sqrt: 15,
+            transcendental: 40,
+            fp_simple: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of a non-terminator instruction.
+    pub fn inst_cost(&self, kind: &InstKind) -> u64 {
+        match kind {
+            InstKind::Bin { op, .. } => match op {
+                BinOp::IAdd | BinOp::ISub => self.ialu,
+                BinOp::IMul => self.imul,
+                BinOp::IDiv | BinOp::IRem => self.idiv,
+                BinOp::FAdd | BinOp::FSub => self.fadd,
+                BinOp::FMul => self.fmul,
+                BinOp::FDiv => self.fdiv,
+            },
+            InstKind::Un { .. } | InstKind::Cmp { .. } => self.ialu,
+            InstKind::Cast { .. } => self.addr,
+            InstKind::Load { .. } | InstKind::Store { .. } => self.mem,
+            InstKind::Gep { .. } | InstKind::FrameAddr { .. } | InstKind::GlobalAddr { .. } => {
+                self.addr
+            }
+            InstKind::Call { .. } => self.call,
+            InstKind::Intrin { which, .. } => match which {
+                Intrinsic::Sqrt => self.sqrt,
+                Intrinsic::Fabs | Intrinsic::Floor | Intrinsic::Fmin | Intrinsic::Fmax => {
+                    self.fp_simple
+                }
+                _ => self.transcendental,
+            },
+        }
+    }
+
+    /// Cost of a terminator.
+    pub fn term_cost(&self, kind: &TermKind) -> u64 {
+        match kind {
+            TermKind::Ret(_) => self.call,
+            _ => self.branch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorscope_ir::{RegId, ScalarTy, Value};
+
+    #[test]
+    fn relative_costs_sane() {
+        let m = CostModel::default();
+        let fdiv = InstKind::Bin {
+            op: BinOp::FDiv,
+            ty: ScalarTy::F64,
+            dst: RegId(0),
+            lhs: Value::ImmFloat(1.0),
+            rhs: Value::ImmFloat(2.0),
+        };
+        let fadd = InstKind::Bin {
+            op: BinOp::FAdd,
+            ty: ScalarTy::F64,
+            dst: RegId(0),
+            lhs: Value::ImmFloat(1.0),
+            rhs: Value::ImmFloat(2.0),
+        };
+        assert!(m.inst_cost(&fdiv) > m.inst_cost(&fadd));
+        let exp = InstKind::Intrin {
+            dst: RegId(0),
+            which: Intrinsic::Exp,
+            ty: ScalarTy::F64,
+            args: vec![Value::ImmFloat(1.0)],
+        };
+        assert!(m.inst_cost(&exp) > m.inst_cost(&fdiv));
+    }
+
+    #[test]
+    fn terminator_costs() {
+        let m = CostModel::default();
+        assert_eq!(m.term_cost(&TermKind::Ret(None)), m.call);
+        assert_eq!(
+            m.term_cost(&TermKind::Br(vectorscope_ir::BlockId(0))),
+            m.branch
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Flat byte-addressed memory for the VM.
+
+use vectorscope_ir::{GlobalId, Module, ScalarTy};
+
+/// The VM's memory: a flat little-endian byte array holding globals and the
+/// call stack.
+///
+/// Layout: a 16-byte null guard (so address 0 always traps), then each
+/// module global aligned to 16 bytes, then the stack region growing upward.
+/// Addresses are plain `u64` byte offsets — exactly what the stride
+/// analysis wants to see.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    global_base: Vec<u64>,
+    stack_top: u64,
+    limit: u64,
+}
+
+impl Memory {
+    /// Allocates memory for `module`'s globals (applying their initializers)
+    /// plus a stack region, capped at `limit` bytes total.
+    pub fn for_module(module: &Module, limit: u64) -> Self {
+        let mut cursor: u64 = 16;
+        let mut global_base = Vec::with_capacity(module.globals().len());
+        for g in module.globals() {
+            cursor = cursor.div_ceil(16) * 16;
+            global_base.push(cursor);
+            cursor += g.size;
+        }
+        let stack_base = cursor.div_ceil(4096) * 4096;
+        let mut mem = Memory {
+            bytes: vec![0; stack_base as usize],
+            global_base,
+            stack_top: stack_base,
+            limit,
+        };
+        for (gi, g) in module.globals().iter().enumerate() {
+            for &(off, value, ty) in &g.init {
+                let addr = mem.global_base[gi] + off;
+                mem.ensure(addr + ty.size());
+                mem.write_scalar(addr, value, ty);
+            }
+        }
+        mem
+    }
+
+    /// Base address of global `g`.
+    pub fn global_base(&self, g: GlobalId) -> u64 {
+        self.global_base[g.index()]
+    }
+
+    /// Current stack pointer (next frame base).
+    pub fn stack_top(&self) -> u64 {
+        self.stack_top
+    }
+
+    /// Pushes a stack frame of `size` bytes; returns its base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the attempted size when the memory limit would be
+    /// exceeded (stack overflow).
+    pub fn push_frame(&mut self, size: u64) -> Result<u64, u64> {
+        let base = self.stack_top.div_ceil(16) * 16;
+        let new_top = base + size;
+        if new_top > self.limit {
+            return Err(new_top);
+        }
+        self.ensure(new_top);
+        // Zero the frame so repeated activations are deterministic.
+        self.bytes[base as usize..new_top as usize].fill(0);
+        self.stack_top = new_top;
+        Ok(base)
+    }
+
+    /// Pops the most recent frame, restoring the stack pointer to `base`.
+    pub fn pop_frame(&mut self, base: u64) {
+        debug_assert!(base <= self.stack_top);
+        self.stack_top = base;
+    }
+
+    fn ensure(&mut self, end: u64) {
+        if end as usize > self.bytes.len() {
+            self.bytes.resize(end as usize, 0);
+        }
+    }
+
+    /// Whether `[addr, addr+size)` is a valid, non-null access.
+    pub fn check(&self, addr: u64, size: u64) -> bool {
+        let Some(end) = addr.checked_add(size) else {
+            return false; // wrapped pointer arithmetic
+        };
+        addr >= 16 && end <= (self.bytes.len() as u64).max(self.stack_top)
+    }
+
+    /// Reads a scalar of type `ty` at `addr` as an `f64` (integers convert
+    /// losslessly for the value ranges kernels use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is out of bounds; the VM checks first.
+    pub fn read_scalar(&self, addr: u64, ty: ScalarTy) -> f64 {
+        match ty {
+            ScalarTy::F64 => f64::from_le_bytes(self.read_array::<8>(addr)),
+            ScalarTy::F32 => f32::from_le_bytes(self.read_array::<4>(addr)) as f64,
+            ScalarTy::I64 | ScalarTy::Ptr => {
+                i64::from_le_bytes(self.read_array::<8>(addr)) as f64
+            }
+        }
+    }
+
+    /// Reads an `i64`/pointer at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is out of bounds.
+    pub fn read_int(&self, addr: u64) -> i64 {
+        i64::from_le_bytes(self.read_array::<8>(addr))
+    }
+
+    /// Writes a scalar of type `ty` at `addr` from an `f64` carrier value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is out of bounds.
+    pub fn write_scalar(&mut self, addr: u64, value: f64, ty: ScalarTy) {
+        match ty {
+            ScalarTy::F64 => self.write_bytes(addr, &value.to_le_bytes()),
+            ScalarTy::F32 => self.write_bytes(addr, &(value as f32).to_le_bytes()),
+            ScalarTy::I64 | ScalarTy::Ptr => {
+                self.write_bytes(addr, &(value as i64).to_le_bytes())
+            }
+        }
+    }
+
+    /// Writes an `i64`/pointer at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is out of bounds.
+    pub fn write_int(&mut self, addr: u64, value: i64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    fn read_array<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let a = addr as usize;
+        self.bytes[a..a + N].try_into().expect("bounds checked")
+    }
+
+    fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorscope_ir::Module;
+
+    #[test]
+    fn globals_are_laid_out_and_initialized() {
+        let mut m = Module::new("m");
+        let a = m.add_global("a", 24, Some(ScalarTy::F64));
+        let b = m.add_global("b", 8, Some(ScalarTy::F64));
+        m.init_global(a, 8, 2.5, ScalarTy::F64);
+        let mem = Memory::for_module(&m, 1 << 20);
+        assert!(mem.global_base(a) >= 16);
+        assert_eq!(mem.global_base(a) % 16, 0);
+        assert!(mem.global_base(b) >= mem.global_base(a) + 24);
+        assert_eq!(mem.read_scalar(mem.global_base(a) + 8, ScalarTy::F64), 2.5);
+        assert_eq!(mem.read_scalar(mem.global_base(a), ScalarTy::F64), 0.0);
+    }
+
+    #[test]
+    fn null_page_is_invalid() {
+        let m = Module::new("m");
+        let mem = Memory::for_module(&m, 1 << 20);
+        assert!(!mem.check(0, 8));
+        assert!(!mem.check(8, 8));
+    }
+
+    #[test]
+    fn frames_push_and_pop() {
+        let m = Module::new("m");
+        let mut mem = Memory::for_module(&m, 1 << 20);
+        let base1 = mem.push_frame(64).unwrap();
+        let base2 = mem.push_frame(32).unwrap();
+        assert!(base2 >= base1 + 64);
+        mem.pop_frame(base1);
+        assert_eq!(mem.stack_top(), base1);
+    }
+
+    #[test]
+    fn frame_overflow_is_reported() {
+        let m = Module::new("m");
+        let mut mem = Memory::for_module(&m, 8192);
+        assert!(mem.push_frame(1 << 20).is_err());
+    }
+
+    #[test]
+    fn f32_roundtrip_narrows() {
+        let m = Module::new("m");
+        let mut mem = Memory::for_module(&m, 1 << 20);
+        let base = mem.push_frame(16).unwrap();
+        mem.write_scalar(base, 1.1, ScalarTy::F32);
+        let v = mem.read_scalar(base, ScalarTy::F32);
+        assert_eq!(v, 1.1f32 as f64);
+        assert_ne!(v, 1.1f64);
+    }
+
+    #[test]
+    fn int_roundtrip() {
+        let m = Module::new("m");
+        let mut mem = Memory::for_module(&m, 1 << 20);
+        let base = mem.push_frame(16).unwrap();
+        mem.write_int(base, -12345);
+        assert_eq!(mem.read_int(base), -12345);
+    }
+}

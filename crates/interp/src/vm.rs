@@ -1,0 +1,738 @@
+//! The interpreter: execution, cycle accounting, and trace capture.
+
+use crate::cost::CostModel;
+use crate::memory::Memory;
+use crate::profiler::{LoopKey, Profiler};
+use std::fmt;
+use vectorscope_ir::loops::{LoopForest, LoopId};
+use vectorscope_ir::{
+    BinOp, BlockId, CmpOp, FuncId, InstKind, Intrinsic, Module, RegId, ScalarTy, Span, TermKind,
+    UnOp, Value,
+};
+use vectorscope_trace::{Trace, TraceEvent};
+
+/// A run-time scalar value.
+///
+/// Pointers are carried as `Int` (byte addresses); `f32` values are carried
+/// as `Float` already rounded to f32 precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtVal {
+    /// Integer or pointer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl RtVal {
+    /// The value as an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float (the verifier prevents this for
+    /// verified modules).
+    pub fn as_int(self) -> i64 {
+        match self {
+            RtVal::Int(i) => i,
+            RtVal::Float(f) => panic!("expected int, found float {f}"),
+        }
+    }
+
+    /// The value as a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_float(self) -> f64 {
+        match self {
+            RtVal::Float(f) => f,
+            RtVal::Int(i) => panic!("expected float, found int {i}"),
+        }
+    }
+}
+
+impl fmt::Display for RtVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtVal::Int(i) => write!(f, "{i}"),
+            RtVal::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// A run-time trap (bad memory access, division by zero, ...).
+    Trap {
+        /// What happened.
+        message: String,
+        /// Source location of the trapping instruction.
+        span: Span,
+    },
+    /// The configured instruction budget was exhausted (probable infinite
+    /// loop).
+    OutOfFuel,
+    /// The stack region exceeded the memory limit.
+    StackOverflow,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Trap { message, span } => write!(f, "trap at {span}: {message}"),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::StackOverflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmOptions {
+    /// Maximum number of executed instructions before [`VmError::OutOfFuel`].
+    pub fuel: u64,
+    /// Memory limit in bytes (globals + stack).
+    pub mem_limit: u64,
+    /// Cycle cost table for the profiler.
+    pub cost: CostModel,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            fuel: 2_000_000_000,
+            mem_limit: 256 << 20,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// What to capture into a trace.
+///
+/// The paper's unit of analysis is one dynamic instance of one loop: "a
+/// subtrace was started upon loop entry and terminated upon loop exit".
+/// Instances are numbered from 0 in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureSpec {
+    /// One dynamic instance of a natural loop (entered from outside),
+    /// including everything executed by calls made inside the loop.
+    Loop {
+        /// The loop's function.
+        func: FuncId,
+        /// The loop within that function.
+        loop_id: LoopId,
+        /// Which dynamic instance (0-based).
+        instance: u64,
+    },
+    /// One activation of a function (0-based instance across the run).
+    Function {
+        /// The function.
+        func: FuncId,
+        /// Which activation (0-based).
+        instance: u64,
+    },
+    /// The entire run.
+    Program,
+}
+
+#[derive(Debug)]
+struct Capture {
+    spec: CaptureSpec,
+    trace: Trace,
+    active: bool,
+    done: bool,
+    seen: u64,
+    /// Call-stack depth (frames.len()) at activation.
+    start_depth: usize,
+}
+
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    regs: Vec<RtVal>,
+    frame_base: u64,
+    activation: u32,
+    block: BlockId,
+    ip: usize,
+    ret_dst: Option<RegId>,
+}
+
+/// The vectorscope virtual machine.
+///
+/// See the [crate docs](crate) for the role it plays in the reproduction.
+#[derive(Debug)]
+pub struct Vm<'m> {
+    module: &'m Module,
+    forests: Vec<LoopForest>,
+    mem: Memory,
+    profiler: Profiler,
+    options: VmOptions,
+    fuel_used: u64,
+    capture: Option<Capture>,
+    next_activation: u32,
+    inst_counts: Vec<u64>,
+    branch_taken: Vec<u64>,
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM for `module` with default options.
+    pub fn new(module: &'m Module) -> Self {
+        Vm::with_options(module, VmOptions::default())
+    }
+
+    /// Creates a VM with explicit options.
+    pub fn with_options(module: &'m Module, options: VmOptions) -> Self {
+        let forests = module.functions().iter().map(LoopForest::new).collect();
+        let mem = Memory::for_module(module, options.mem_limit);
+        let inst_counts = vec![0; module.num_inst_ids()];
+        let branch_taken = vec![0; module.num_inst_ids()];
+        Vm {
+            module,
+            forests,
+            mem,
+            profiler: Profiler::new(),
+            options,
+            fuel_used: 0,
+            capture: None,
+            next_activation: 0,
+            inst_counts,
+            branch_taken,
+        }
+    }
+
+    /// The loop forests of all functions (index = `FuncId::index()`).
+    pub fn forests(&self) -> &[LoopForest] {
+        &self.forests
+    }
+
+    /// The profiler with accumulated cycle counts.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Dynamic execution counts per static instruction (index =
+    /// `InstId::index()`), accumulated across all runs of this VM.
+    pub fn inst_counts(&self) -> &[u64] {
+        &self.inst_counts
+    }
+
+    /// Total instructions executed so far (across all runs of this VM).
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used
+    }
+
+    /// Taken counts per conditional branch (index = the terminator's
+    /// `InstId::index()`); together with [`Vm::inst_counts`] this yields
+    /// per-branch outcome distributions, the raw material of the paper's
+    /// proposed control-flow-regularity refinement (§4.4).
+    pub fn branch_taken(&self) -> &[u64] {
+        &self.branch_taken
+    }
+
+    /// The VM memory (for inspecting results after a run).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (for seeding inputs before a run).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Arms trace capture; call before [`Vm::run`].
+    pub fn set_capture(&mut self, spec: CaptureSpec, label: &str) {
+        self.capture = Some(Capture {
+            spec,
+            trace: Trace::new(label),
+            active: matches!(spec, CaptureSpec::Program),
+            done: false,
+            seen: 0,
+            start_depth: 0,
+        });
+    }
+
+    /// Takes the captured trace, if capture was armed and fired.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.capture.take().map(|c| c.trace)
+    }
+
+    /// Reads element `index` of a scalar-element global by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist or has no scalar element type.
+    pub fn read_global(&self, name: &str, index: u64) -> f64 {
+        let gid = self
+            .module
+            .lookup_global(name)
+            .unwrap_or_else(|| panic!("no global `{name}`"));
+        let g = self.module.global(gid);
+        let ty = g.elem_ty.unwrap_or_else(|| panic!("global `{name}` is opaque"));
+        let addr = self.mem.global_base(gid) + index * ty.size();
+        self.mem.read_scalar(addr, ty)
+    }
+
+    /// Runs `main` (no arguments).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on trap, fuel exhaustion, or stack overflow;
+    /// also traps if the module has no `main`.
+    pub fn run_main(&mut self) -> Result<Option<RtVal>, VmError> {
+        let main = self.module.lookup_function("main").ok_or(VmError::Trap {
+            message: "module has no `main` function".into(),
+            span: Span::SYNTH,
+        })?;
+        self.run(main, &[])
+    }
+
+    /// Runs `func` with `args` to completion and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] on trap, fuel exhaustion, or stack overflow.
+    pub fn run(&mut self, func: FuncId, args: &[RtVal]) -> Result<Option<RtVal>, VmError> {
+        let mut frames: Vec<Frame> = Vec::new();
+        self.push_frame(&mut frames, func, args, None)?;
+        // The entry frame itself may be the requested function capture.
+        self.check_function_capture(&frames);
+        loop {
+            let depth = frames.len();
+            let frame = frames.last_mut().expect("at least one frame");
+            let function = self.module.function(frame.func);
+            let block = function.block(frame.block);
+
+            if frame.ip < block.insts.len() {
+                let inst = &block.insts[frame.ip];
+                self.fuel_used += 1;
+                if self.fuel_used > self.options.fuel {
+                    return Err(VmError::OutOfFuel);
+                }
+                self.inst_counts[inst.id.index()] += 1;
+                let cost = self.options.cost.inst_cost(&inst.kind);
+                let loop_key = self.forests[frame.func.index()]
+                    .innermost_of(frame.block)
+                    .map(|l| LoopKey {
+                        func: frame.func,
+                        loop_id: l,
+                    });
+                self.profiler.charge(loop_key, cost);
+
+                // Calls need frame manipulation; handle them out of line.
+                if let InstKind::Call { dst, callee, args } = &inst.kind {
+                    let argv: Vec<RtVal> = args
+                        .iter()
+                        .map(|a| Self::value_in(frame, *a))
+                        .collect();
+                    let inst_id = inst.id;
+                    let dst = *dst;
+                    let callee = *callee;
+                    frame.ip += 1;
+                    let caller_activation = frame.activation;
+                    let callee_activation = self.next_activation;
+                    self.emit(TraceEvent::call(inst_id, caller_activation, callee_activation));
+                    self.push_frame(&mut frames, callee, &argv, dst)?;
+                    // Function-capture activation check.
+                    self.check_function_capture(&frames);
+                    continue;
+                }
+
+                let trap = |message: String| VmError::Trap {
+                    message,
+                    span: inst.span,
+                };
+                let mut mem_addr: Option<u64> = None;
+                match &inst.kind {
+                    InstKind::Bin { op, ty, dst, lhs, rhs } => {
+                        let a = Self::value_in(frame, *lhs);
+                        let b = Self::value_in(frame, *rhs);
+                        let r = Self::eval_bin(*op, *ty, a, b).map_err(trap)?;
+                        frame.regs[dst.index()] = r;
+                    }
+                    InstKind::Un { op, ty, dst, src } => {
+                        let v = Self::value_in(frame, *src);
+                        frame.regs[dst.index()] = match op {
+                            UnOp::INeg => RtVal::Int(v.as_int().wrapping_neg()),
+                            UnOp::FNeg => {
+                                let x = -v.as_float();
+                                RtVal::Float(if *ty == ScalarTy::F32 {
+                                    (x as f32) as f64
+                                } else {
+                                    x
+                                })
+                            }
+                        };
+                    }
+                    InstKind::Cmp { op, ty, dst, lhs, rhs } => {
+                        let a = Self::value_in(frame, *lhs);
+                        let b = Self::value_in(frame, *rhs);
+                        let r = Self::eval_cmp(*op, *ty, a, b);
+                        frame.regs[dst.index()] = RtVal::Int(r as i64);
+                    }
+                    InstKind::Cast { dst, to, from, src } => {
+                        let v = Self::value_in(frame, *src);
+                        frame.regs[dst.index()] = Self::eval_cast(*from, *to, v);
+                    }
+                    InstKind::Load { dst, ty, addr } => {
+                        let a = Self::value_in(frame, *addr).as_int() as u64;
+                        if !self.mem.check(a, ty.size()) {
+                            return Err(trap(format!("load of {} bytes at {a:#x} out of bounds", ty.size())));
+                        }
+                        mem_addr = Some(a);
+                        frame.regs[dst.index()] = match ty {
+                            ScalarTy::I64 | ScalarTy::Ptr => RtVal::Int(self.mem.read_int(a)),
+                            _ => RtVal::Float(self.mem.read_scalar(a, *ty)),
+                        };
+                    }
+                    InstKind::Store { ty, addr, value } => {
+                        let a = Self::value_in(frame, *addr).as_int() as u64;
+                        if !self.mem.check(a, ty.size()) {
+                            return Err(trap(format!("store of {} bytes at {a:#x} out of bounds", ty.size())));
+                        }
+                        mem_addr = Some(a);
+                        let v = Self::value_in(frame, *value);
+                        match ty {
+                            ScalarTy::I64 | ScalarTy::Ptr => self.mem.write_int(a, v.as_int()),
+                            _ => self.mem.write_scalar(a, v.as_float(), *ty),
+                        }
+                    }
+                    InstKind::Gep { dst, base, indices, offset } => {
+                        let mut addr = Self::value_in(frame, *base).as_int();
+                        for (idx, scale) in indices {
+                            let i = Self::value_in(frame, *idx).as_int();
+                            addr = addr.wrapping_add(i.wrapping_mul(*scale));
+                        }
+                        addr = addr.wrapping_add(*offset);
+                        frame.regs[dst.index()] = RtVal::Int(addr);
+                    }
+                    InstKind::Intrin { dst, which, ty, args } => {
+                        let xs: Vec<f64> = args
+                            .iter()
+                            .map(|a| Self::value_in(frame, *a).as_float())
+                            .collect();
+                        let r = Self::eval_intrinsic(*which, &xs);
+                        frame.regs[dst.index()] = RtVal::Float(if *ty == ScalarTy::F32 {
+                            (r as f32) as f64
+                        } else {
+                            r
+                        });
+                    }
+                    InstKind::FrameAddr { dst, offset } => {
+                        frame.regs[dst.index()] =
+                            RtVal::Int((frame.frame_base + offset) as i64);
+                    }
+                    InstKind::GlobalAddr { dst, global } => {
+                        frame.regs[dst.index()] = RtVal::Int(self.mem.global_base(*global) as i64);
+                    }
+                    InstKind::Call { .. } => unreachable!("handled above"),
+                }
+                let ev = TraceEvent::plain(inst.id, frame.activation, mem_addr);
+                frame.ip += 1;
+                self.emit(ev);
+                continue;
+            }
+
+            // Terminator.
+            let term = block.terminator().clone();
+            self.inst_counts[term.id.index()] += 1;
+            self.fuel_used += 1;
+            if self.fuel_used > self.options.fuel {
+                return Err(VmError::OutOfFuel);
+            }
+            let loop_key = self.forests[frame.func.index()]
+                .innermost_of(frame.block)
+                .map(|l| LoopKey {
+                    func: frame.func,
+                    loop_id: l,
+                });
+            self.profiler.charge(loop_key, self.options.cost.term_cost(&term.kind));
+
+            match term.kind {
+                TermKind::Br(target) => {
+                    let prev = frame.block;
+                    frame.block = target;
+                    frame.ip = 0;
+                    let (func, act) = (frame.func, frame.activation);
+                    let _ = act;
+                    self.note_transition(func, prev, target, depth);
+                }
+                TermKind::CondBr { cond, then_bb, else_bb } => {
+                    let c = Self::value_in(frame, cond).as_int();
+                    if c != 0 {
+                        self.branch_taken[term.id.index()] += 1;
+                    }
+                    let target = if c != 0 { then_bb } else { else_bb };
+                    let prev = frame.block;
+                    frame.block = target;
+                    frame.ip = 0;
+                    let func = frame.func;
+                    self.note_transition(func, prev, target, depth);
+                }
+                TermKind::Ret(value) => {
+                    let v = value.map(|v| Self::value_in(frame, v));
+                    let activation = frame.activation;
+                    let frame_base = frame.frame_base;
+                    let ret_dst = frame.ret_dst;
+                    // Loop capture ends if the starting frame returns.
+                    if let Some(c) = &mut self.capture {
+                        if c.active && depth == c.start_depth
+                            && !matches!(c.spec, CaptureSpec::Program) {
+                                c.active = false;
+                                c.done = true;
+                            }
+                    }
+                    self.emit(TraceEvent::ret(term.id, activation));
+                    self.mem.pop_frame(frame_base);
+                    frames.pop();
+                    match frames.last_mut() {
+                        None => return Ok(v),
+                        Some(caller) => {
+                            if let (Some(dst), Some(v)) = (ret_dst, v) {
+                                caller.regs[dst.index()] = v;
+                            }
+                            // Function capture: deactivate when leaving the
+                            // captured activation's depth.
+                            if let Some(c) = &mut self.capture {
+                                if c.active
+                                    && matches!(c.spec, CaptureSpec::Function { .. })
+                                    && frames.len() < c.start_depth
+                                {
+                                    c.active = false;
+                                    c.done = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        func: FuncId,
+        args: &[RtVal],
+        ret_dst: Option<RegId>,
+    ) -> Result<(), VmError> {
+        let function = self.module.function(func);
+        assert_eq!(
+            args.len(),
+            function.params().len(),
+            "arity mismatch calling `{}`",
+            function.name()
+        );
+        let frame_base = self
+            .mem
+            .push_frame(function.frame_size())
+            .map_err(|_| VmError::StackOverflow)?;
+        if frames.len() >= 10_000 {
+            return Err(VmError::StackOverflow);
+        }
+        let mut regs = vec![RtVal::Int(0); function.num_regs()];
+        for (i, &a) in args.iter().enumerate() {
+            regs[function.params()[i].index()] = a;
+        }
+        let activation = self.next_activation;
+        self.next_activation += 1;
+        frames.push(Frame {
+            func,
+            regs,
+            frame_base,
+            activation,
+            block: function.entry(),
+            ip: 0,
+            ret_dst,
+        });
+        Ok(())
+    }
+
+    /// Handles loop-entry bookkeeping for a block transition inside one
+    /// frame: profiler entry counts and loop-capture activation/stop.
+    fn note_transition(&mut self, func: FuncId, prev: BlockId, cur: BlockId, depth: usize) {
+        let forest = &self.forests[func.index()];
+        // Walk the ancestor chain of `cur`'s innermost loop; each loop that
+        // does not contain `prev` was just entered.
+        let mut l = forest.innermost_of(cur);
+        let mut entered: Vec<LoopId> = Vec::new();
+        while let Some(id) = l {
+            if forest.get(id).contains(prev) {
+                break;
+            }
+            entered.push(id);
+            l = forest.get(id).parent;
+        }
+        for &id in &entered {
+            self.profiler.record_entry(LoopKey { func, loop_id: id });
+        }
+
+        if let Some(c) = &mut self.capture {
+            if c.done {
+                return;
+            }
+            if let CaptureSpec::Loop {
+                func: cf,
+                loop_id,
+                instance,
+            } = c.spec
+            {
+                if c.active {
+                    // Exit: back in the start frame, moving to a block
+                    // outside the loop.
+                    if depth == c.start_depth
+                        && cf == func
+                        && !self.forests[func.index()].get(loop_id).contains(cur)
+                    {
+                        c.active = false;
+                        c.done = true;
+                    }
+                } else if cf == func && entered.contains(&loop_id) {
+                    if c.seen == instance {
+                        c.active = true;
+                        c.start_depth = depth;
+                    }
+                    c.seen += 1;
+                }
+            }
+        }
+    }
+
+    /// Activates function capture when the just-pushed frame matches.
+    fn check_function_capture(&mut self, frames: &[Frame]) {
+        if let Some(c) = &mut self.capture {
+            if c.done || c.active {
+                return;
+            }
+            if let CaptureSpec::Function { func, instance } = c.spec {
+                if frames.last().map(|f| f.func) == Some(func) {
+                    if c.seen == instance {
+                        c.active = true;
+                        c.start_depth = frames.len();
+                    }
+                    c.seen += 1;
+                }
+            }
+        }
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(c) = &mut self.capture {
+            if c.active {
+                c.trace.push(event);
+            }
+        }
+    }
+
+    fn value_in(frame: &Frame, v: Value) -> RtVal {
+        match v {
+            Value::Reg(r) => frame.regs[r.index()],
+            Value::ImmInt(i) => RtVal::Int(i),
+            Value::ImmFloat(f) => RtVal::Float(f),
+        }
+    }
+
+    fn eval_bin(op: BinOp, ty: ScalarTy, a: RtVal, b: RtVal) -> Result<RtVal, String> {
+        Ok(match op {
+            BinOp::IAdd => RtVal::Int(a.as_int().wrapping_add(b.as_int())),
+            BinOp::ISub => RtVal::Int(a.as_int().wrapping_sub(b.as_int())),
+            BinOp::IMul => RtVal::Int(a.as_int().wrapping_mul(b.as_int())),
+            BinOp::IDiv => {
+                let d = b.as_int();
+                if d == 0 {
+                    return Err("integer division by zero".into());
+                }
+                RtVal::Int(a.as_int().wrapping_div(d))
+            }
+            BinOp::IRem => {
+                let d = b.as_int();
+                if d == 0 {
+                    return Err("integer remainder by zero".into());
+                }
+                RtVal::Int(a.as_int().wrapping_rem(d))
+            }
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => {
+                let (x, y) = (a.as_float(), b.as_float());
+                let r = if ty == ScalarTy::F32 {
+                    let (x, y) = (x as f32, y as f32);
+                    (match op {
+                        BinOp::FAdd => x + y,
+                        BinOp::FSub => x - y,
+                        BinOp::FMul => x * y,
+                        BinOp::FDiv => x / y,
+                        _ => unreachable!(),
+                    }) as f64
+                } else {
+                    match op {
+                        BinOp::FAdd => x + y,
+                        BinOp::FSub => x - y,
+                        BinOp::FMul => x * y,
+                        BinOp::FDiv => x / y,
+                        _ => unreachable!(),
+                    }
+                };
+                RtVal::Float(r)
+            }
+        })
+    }
+
+    fn eval_cmp(op: CmpOp, ty: ScalarTy, a: RtVal, b: RtVal) -> bool {
+        if ty.is_float() {
+            let (x, y) = (a.as_float(), b.as_float());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        } else {
+            let (x, y) = (a.as_int(), b.as_int());
+            match op {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+    }
+
+    fn eval_cast(from: ScalarTy, to: ScalarTy, v: RtVal) -> RtVal {
+        match (from, to) {
+            (ScalarTy::I64 | ScalarTy::Ptr, ScalarTy::I64 | ScalarTy::Ptr) => {
+                RtVal::Int(v.as_int())
+            }
+            (ScalarTy::I64 | ScalarTy::Ptr, ScalarTy::F64) => RtVal::Float(v.as_int() as f64),
+            (ScalarTy::I64 | ScalarTy::Ptr, ScalarTy::F32) => {
+                RtVal::Float((v.as_int() as f32) as f64)
+            }
+            (ScalarTy::F64 | ScalarTy::F32, ScalarTy::I64 | ScalarTy::Ptr) => {
+                RtVal::Int(v.as_float() as i64)
+            }
+            (ScalarTy::F32, ScalarTy::F64) => RtVal::Float(v.as_float()),
+            (ScalarTy::F64, ScalarTy::F32) => RtVal::Float((v.as_float() as f32) as f64),
+            (ScalarTy::F32, ScalarTy::F32) | (ScalarTy::F64, ScalarTy::F64) => {
+                RtVal::Float(v.as_float())
+            }
+        }
+    }
+
+    fn eval_intrinsic(which: Intrinsic, xs: &[f64]) -> f64 {
+        match which {
+            Intrinsic::Exp => xs[0].exp(),
+            Intrinsic::Log => xs[0].ln(),
+            Intrinsic::Sqrt => xs[0].sqrt(),
+            Intrinsic::Fabs => xs[0].abs(),
+            Intrinsic::Sin => xs[0].sin(),
+            Intrinsic::Cos => xs[0].cos(),
+            Intrinsic::Floor => xs[0].floor(),
+            Intrinsic::Fmin => xs[0].min(xs[1]),
+            Intrinsic::Fmax => xs[0].max(xs[1]),
+            Intrinsic::Pow => xs[0].powf(xs[1]),
+        }
+    }
+}

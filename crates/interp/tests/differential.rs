@@ -1,0 +1,208 @@
+//! Differential testing: random Kern programs are compiled and executed by
+//! the VM, and the results compared against a native Rust evaluation of
+//! the same computation. Arithmetic uses only +, -, * on f64, so results
+//! must be bit-identical (both sides perform the same IEEE operations in
+//! the same order).
+
+use proptest::prelude::*;
+use vectorscope_frontend::compile;
+use vectorscope_interp::{RtVal, Vm};
+
+/// A random arithmetic expression over variables `v0..vN` and literals.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(f64),
+    Var(usize),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    fn to_kern(&self) -> String {
+        match self {
+            Expr::Lit(x) => format!("({x:?})"),
+            Expr::Var(i) => format!("v{i}"),
+            Expr::Add(a, b) => format!("({} + {})", a.to_kern(), b.to_kern()),
+            Expr::Sub(a, b) => format!("({} - {})", a.to_kern(), b.to_kern()),
+            Expr::Mul(a, b) => format!("({} * {})", a.to_kern(), b.to_kern()),
+            Expr::Neg(a) => format!("(-{})", a.to_kern()),
+        }
+    }
+
+    fn eval(&self, env: &[f64]) -> f64 {
+        match self {
+            Expr::Lit(x) => *x,
+            Expr::Var(i) => env[*i % env.len()],
+            Expr::Add(a, b) => a.eval(env) + b.eval(env),
+            Expr::Sub(a, b) => a.eval(env) - b.eval(env),
+            Expr::Mul(a, b) => a.eval(env) * b.eval(env),
+            Expr::Neg(a) => -a.eval(env),
+        }
+    }
+
+    /// Remap variable indices into range.
+    fn clamp_vars(&mut self, n: usize) {
+        match self {
+            Expr::Var(i) => *i %= n,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+                a.clamp_vars(n);
+                b.clamp_vars(n);
+            }
+            Expr::Neg(a) => a.clamp_vars(n),
+            Expr::Lit(_) => {}
+        }
+    }
+}
+
+fn arb_lit() -> impl Strategy<Value = f64> {
+    // Small, clean magnitudes: keeps everything finite.
+    (-8i32..=8).prop_map(|i| i as f64 * 0.25)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_lit().prop_map(Expr::Lit),
+        (0usize..8).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Straight-line programs: a chain of assignments, each reading the
+    /// variables defined so far.
+    #[test]
+    fn straightline_matches_native(
+        inits in prop::collection::vec(arb_lit(), 2..5),
+        mut exprs in prop::collection::vec(arb_expr(), 1..6),
+    ) {
+        let n0 = inits.len();
+        let mut src = String::new();
+        src.push_str("double out = 0.0;\n");
+        src.push_str("void main() {\n");
+        let mut env: Vec<f64> = inits.clone();
+        for (i, v) in inits.iter().enumerate() {
+            src.push_str(&format!("    double v{i} = {v:?};\n"));
+        }
+        for (k, e) in exprs.iter_mut().enumerate() {
+            let avail = n0 + k;
+            e.clamp_vars(avail);
+            src.push_str(&format!("    double v{} = {};\n", avail, e.to_kern()));
+            let val = e.eval(&env);
+            env.push(val);
+        }
+        src.push_str(&format!("    out = v{};\n}}\n", env.len() - 1));
+
+        let module = compile("diff.kern", &src).unwrap();
+        let mut vm = Vm::new(&module);
+        vm.run_main().unwrap();
+        let got = vm.read_global("out", 0);
+        let want = *env.last().unwrap();
+        prop_assert!(
+            got == want || (got.is_nan() && want.is_nan()),
+            "src:\n{src}\ngot {got}, want {want}"
+        );
+    }
+
+    /// Loop programs: apply a random element-wise expression over arrays
+    /// and compare the whole output array.
+    #[test]
+    fn elementwise_loop_matches_native(
+        mut e in arb_expr(),
+        n in 3usize..24,
+        seed in 1i64..1000,
+    ) {
+        e.clamp_vars(3);
+        // v0 = a[i], v1 = b[i], v2 = (double)i.
+        let src = format!(
+            r#"
+            const int N = {n};
+            double a[N]; double b[N]; double out[N];
+            void main() {{
+                for (int i = 0; i < N; i++) {{
+                    a[i] = (double)((i * {seed}) % 17) * 0.5;
+                    b[i] = (double)((i + {seed}) % 13) * 0.25;
+                }}
+                for (int i = 0; i < N; i++) {{
+                    double v0 = a[i];
+                    double v1 = b[i];
+                    double v2 = (double)i;
+                    out[i] = {};
+                }}
+            }}
+        "#,
+            e.to_kern()
+        );
+        let module = compile("loopdiff.kern", &src).unwrap();
+        let mut vm = Vm::new(&module);
+        vm.run_main().unwrap();
+        for i in 0..n {
+            let a = ((i as i64 * seed) % 17) as f64 * 0.5;
+            let b = ((i as i64 + seed) % 13) as f64 * 0.25;
+            let want = e.eval(&[a, b, i as f64]);
+            let got = vm.read_global("out", i as u64);
+            prop_assert!(
+                got == want || (got.is_nan() && want.is_nan()),
+                "i={i}: got {got}, want {want}\nsrc: {src}"
+            );
+        }
+    }
+
+    /// Function-call programs: the expression is computed inside a callee;
+    /// arguments and return values must round-trip exactly.
+    #[test]
+    fn call_roundtrip_matches_native(
+        mut e in arb_expr(),
+        x in arb_lit(),
+        y in arb_lit(),
+    ) {
+        e.clamp_vars(2);
+        let src = format!(
+            r#"
+            double f(double v0, double v1) {{ return {}; }}
+            double out = 0.0;
+            void main() {{ out = f({x:?}, {y:?}); }}
+        "#,
+            e.to_kern()
+        );
+        let module = compile("calldiff.kern", &src).unwrap();
+        let mut vm = Vm::new(&module);
+        vm.run_main().unwrap();
+        let got = vm.read_global("out", 0);
+        let want = e.eval(&[x, y]);
+        prop_assert!(
+            got == want || (got.is_nan() && want.is_nan()),
+            "got {got}, want {want}\nsrc: {src}"
+        );
+    }
+}
+
+/// Direct (non-proptest) differential check for a function called with
+/// VM-provided arguments rather than through main.
+#[test]
+fn run_with_arguments_matches_native() {
+    let src = "double hypot2(double a, double b) { return a * a + b * b; }";
+    let module = compile("args.kern", src).unwrap();
+    let f = module.lookup_function("hypot2").unwrap();
+    for (a, b) in [(1.5, 2.5), (-3.0, 4.0), (0.0, 0.0), (1e10, -1e-10)] {
+        let mut vm = Vm::new(&module);
+        let out = vm
+            .run(f, &[RtVal::Float(a), RtVal::Float(b)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, RtVal::Float(a * a + b * b));
+    }
+}

@@ -1,0 +1,164 @@
+//! Control-flow-graph utilities: successor/predecessor maps and orderings.
+
+use crate::func::{BlockId, Function};
+
+/// Predecessor/successor maps for a function's CFG.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_ir::{Module, FunctionBuilder, cfg::Cfg};
+///
+/// let mut m = Module::new("m");
+/// let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
+/// let next = b.new_block();
+/// b.br(next);
+/// b.switch_to(next);
+/// b.ret(None);
+/// let f = b.finish();
+/// let cfg = Cfg::new(m.function(f));
+/// assert_eq!(cfg.succs(m.function(f).entry()), &[next]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Computes the CFG edge maps of `func`.
+    pub fn new(func: &Function) -> Self {
+        let n = func.blocks().len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (b, block) in func.iter_blocks() {
+            for s in block.terminator().successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the CFG has no blocks (never true for built functions, which
+    /// always have an entry block).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+/// Blocks of `func` in reverse postorder from the entry.
+///
+/// Unreachable blocks are omitted.
+pub fn reverse_postorder(func: &Function) -> Vec<BlockId> {
+    let cfg = Cfg::new(func);
+    let mut visited = vec![false; cfg.len()];
+    let mut post = Vec::with_capacity(cfg.len());
+    // Iterative DFS with explicit (block, next-successor-index) stack.
+    let mut stack: Vec<(BlockId, usize)> = vec![(func.entry(), 0)];
+    visited[func.entry().index()] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = cfg.succs(b);
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Blocks not reachable from the entry.
+pub fn unreachable_blocks(func: &Function) -> Vec<BlockId> {
+    let order = reverse_postorder(func);
+    let mut reached = vec![false; func.blocks().len()];
+    for b in &order {
+        reached[b.index()] = true;
+    }
+    (0..func.blocks().len() as u32)
+        .map(BlockId)
+        .filter(|b| !reached[b.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FunctionBuilder, Module, ScalarTy, Value};
+
+    /// Builds a diamond CFG: entry -> {then, else} -> join -> ret.
+    fn diamond() -> (Module, crate::FuncId) {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::I64], None);
+        let p = b.param(0);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.cmp(CmpOp::Gt, ScalarTy::I64, Value::Reg(p), Value::ImmInt(0));
+        b.cond_br(Value::Reg(c), t, e);
+        b.switch_to(t);
+        b.br(j);
+        b.switch_to(e);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        (m, f)
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let (m, f) = diamond();
+        let func = m.function(f);
+        let cfg = Cfg::new(func);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(0)), &[] as &[BlockId]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let (m, f) = diamond();
+        let order = reverse_postorder(m.function(f));
+        assert_eq!(order[0], BlockId(0));
+        assert_eq!(order.len(), 4);
+        // join must come after both branches
+        let pos = |b: BlockId| order.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_detected() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(unreachable_blocks(m.function(f)), vec![dead]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Dominator-tree construction (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::{reverse_postorder, Cfg};
+use crate::func::{BlockId, Function};
+
+/// The dominator tree of a function's CFG.
+///
+/// Built with the iterative algorithm of Cooper, Harvey and Kennedy
+/// (*A Simple, Fast Dominance Algorithm*), which is near-linear on the small
+/// CFGs the frontend produces.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_ir::{Module, FunctionBuilder, dom::DomTree};
+///
+/// let mut m = Module::new("m");
+/// let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
+/// let next = b.new_block();
+/// b.br(next);
+/// b.switch_to(next);
+/// b.ret(None);
+/// let f = b.finish();
+/// let dt = DomTree::new(m.function(f));
+/// assert!(dt.dominates(m.function(f).entry(), next));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block; `idom[entry] == entry`; unreachable
+    /// blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+    /// Position of each block in reverse postorder (usize::MAX if
+    /// unreachable).
+    rpo_index: Vec<usize>,
+    /// Reverse postorder of reachable blocks.
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func`.
+    pub fn new(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let rpo = reverse_postorder(func);
+        let n = func.blocks().len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+
+        let entry = func.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], rpo_index: &[usize], a: BlockId, b: BlockId| {
+            let mut x = a;
+            let mut y = b;
+            while x != y {
+                while rpo_index[x.index()] > rpo_index[y.index()] {
+                    x = idom[x.index()].expect("processed block has idom");
+                }
+                while rpo_index[y.index()] > rpo_index[x.index()] {
+                    y = idom[y.index()].expect("processed block has idom");
+                }
+            }
+            x
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo_index,
+            rpo,
+        }
+    }
+
+    /// Immediate dominator of `b` (`None` for the entry block and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.index()] {
+            Some(d) if d != b => Some(d),
+            Some(_) => None, // entry
+            None => None,    // unreachable
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexively: every block dominates itself).
+    ///
+    /// Returns `false` if either block is unreachable.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[a.index()] == usize::MAX || self.rpo_index[b.index()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+
+    /// Reverse postorder of reachable blocks.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CmpOp, FuncId, FunctionBuilder, Module, ScalarTy, Value};
+
+    fn diamond_with_loop() -> (Module, FuncId) {
+        // entry(0) -> header(1); header -> body(2) | exit(3); body -> header
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::I64], None);
+        let n = b.param(0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let c = b.cmp(CmpOp::Lt, ScalarTy::I64, Value::ImmInt(0), Value::Reg(n));
+        b.cond_br(Value::Reg(c), body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        (m, f)
+    }
+
+    #[test]
+    fn idoms_of_loop() {
+        let (m, f) = diamond_with_loop();
+        let dt = DomTree::new(m.function(f));
+        assert_eq!(dt.idom(BlockId(0)), None);
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(1)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let (m, f) = diamond_with_loop();
+        let dt = DomTree::new(m.function(f));
+        for i in 0..4 {
+            assert!(dt.dominates(BlockId(i), BlockId(i)));
+        }
+        assert!(dt.dominates(BlockId(0), BlockId(3)));
+        assert!(dt.dominates(BlockId(1), BlockId(2)));
+        assert!(!dt.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
+        let dead = b.new_block();
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let dt = DomTree::new(m.function(f));
+        assert!(!dt.is_reachable(dead));
+        assert_eq!(dt.idom(dead), None);
+        assert!(!dt.dominates(BlockId(0), dead));
+    }
+}

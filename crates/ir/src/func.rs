@@ -1,0 +1,220 @@
+use crate::inst::{Inst, Terminator};
+use crate::types::ScalarTy;
+use crate::value::RegId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a basic block, scoped to a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index within its function.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Metadata about a virtual register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegInfo {
+    /// The register's scalar type.
+    pub ty: ScalarTy,
+    /// Optional debug name (source variable name when the frontend knows it).
+    pub name: Option<String>,
+}
+
+/// A basic block: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The block's instructions in execution order.
+    pub insts: Vec<Inst>,
+    /// The control transfer out of the block.
+    ///
+    /// `None` only transiently during construction; a finished function has a
+    /// terminator in every block (enforced by [`crate::verify`]).
+    pub term: Option<Terminator>,
+}
+
+impl Block {
+    /// An empty, unterminated block.
+    pub fn new() -> Self {
+        Block {
+            insts: Vec::new(),
+            term: None,
+        }
+    }
+
+    /// The block's terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is unterminated (only possible mid-construction).
+    pub fn terminator(&self) -> &Terminator {
+        self.term.as_ref().expect("block has no terminator")
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// A function: a register file, a stack frame layout, and a CFG of blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    name: String,
+    params: Vec<RegId>,
+    ret_ty: Option<ScalarTy>,
+    regs: Vec<RegInfo>,
+    blocks: Vec<Block>,
+    /// Size in bytes of the function's stack frame (locals with a memory
+    /// home: arrays, structs, address-taken scalars).
+    frame_size: u64,
+}
+
+impl Function {
+    pub(crate) fn new(name: &str, param_tys: &[ScalarTy], ret_ty: Option<ScalarTy>) -> Self {
+        let regs: Vec<RegInfo> = param_tys
+            .iter()
+            .map(|&ty| RegInfo { ty, name: None })
+            .collect();
+        let params = (0..param_tys.len() as u32).map(RegId).collect();
+        Function {
+            name: name.to_string(),
+            params,
+            ret_ty,
+            regs,
+            blocks: vec![Block::new()],
+            frame_size: 0,
+        }
+    }
+
+    /// The function's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers that hold the parameters on entry (always the first
+    /// registers of the register file).
+    pub fn params(&self) -> &[RegId] {
+        &self.params
+    }
+
+    /// Return type, or `None` for void.
+    pub fn ret_ty(&self) -> Option<ScalarTy> {
+        self.ret_ty
+    }
+
+    /// The entry block (always `bb0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Number of virtual registers.
+    pub fn num_regs(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Metadata for register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not a register of this function.
+    pub fn reg(&self, r: RegId) -> &RegInfo {
+        &self.regs[r.index()]
+    }
+
+    /// All blocks, indexable by [`BlockId::index`].
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The block `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not a block of this function.
+    pub fn block(&self, b: BlockId) -> &Block {
+        &self.blocks[b.index()]
+    }
+
+    /// Iterator over `(BlockId, &Block)` pairs in creation order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Size in bytes of the stack frame for memory-homed locals.
+    pub fn frame_size(&self) -> u64 {
+        self.frame_size
+    }
+
+    /// Total number of non-terminator instructions.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    // ---- construction-time mutators (used by FunctionBuilder) ----
+
+    pub(crate) fn add_reg(&mut self, ty: ScalarTy, name: Option<String>) -> RegId {
+        let id = RegId(self.regs.len() as u32);
+        self.regs.push(RegInfo { ty, name });
+        id
+    }
+
+    pub(crate) fn set_reg_name(&mut self, r: RegId, name: String) {
+        self.regs[r.index()].name = Some(name);
+    }
+
+    pub(crate) fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        id
+    }
+
+    pub(crate) fn block_mut(&mut self, b: BlockId) -> &mut Block {
+        &mut self.blocks[b.index()]
+    }
+
+    pub(crate) fn alloc_frame(&mut self, size: u64, align: u64) -> u64 {
+        let off = self.frame_size.div_ceil(align) * align;
+        self.frame_size = off + size;
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_function_has_entry_and_params() {
+        let f = Function::new("f", &[ScalarTy::F64, ScalarTy::I64], Some(ScalarTy::F64));
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.params().len(), 2);
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.num_regs(), 2);
+        assert_eq!(f.reg(RegId(0)).ty, ScalarTy::F64);
+        assert_eq!(f.ret_ty(), Some(ScalarTy::F64));
+        assert_eq!(f.blocks().len(), 1);
+    }
+
+    #[test]
+    fn frame_allocation_respects_alignment() {
+        let mut f = Function::new("f", &[], None);
+        let a = f.alloc_frame(4, 4);
+        let b = f.alloc_frame(8, 8);
+        assert_eq!(a, 0);
+        assert_eq!(b, 8);
+        assert_eq!(f.frame_size(), 16);
+    }
+}

@@ -1,0 +1,574 @@
+use crate::func::BlockId;
+use crate::module::FuncId;
+use crate::types::ScalarTy;
+use crate::value::{RegId, Value};
+use serde::{Deserialize, Serialize};
+
+/// Module-unique identifier of a *static instruction*.
+///
+/// This is the key the dynamic analysis partitions by: every trace event
+/// names the static instruction it is an instance of, and Algorithm 1 of the
+/// paper computes per-static-instruction timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    /// The id as an index into module-wide instruction tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for InstId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Source location of an instruction (1-based line and column).
+///
+/// Reports identify loops the way the paper's tables do — `file : line` —
+/// so spans flow from the frontend all the way into rendered tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based source line; 0 when synthesized.
+    pub line: u32,
+    /// 1-based source column; 0 when synthesized.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span for compiler-synthesized instructions with no source location.
+    pub const SYNTH: Span = Span { line: 0, col: 0 };
+
+    /// Creates a span at `line:col`.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Binary arithmetic operations.
+///
+/// The `F*` variants on floating-point types are the *candidate
+/// instructions* of the analysis (paper §3): they are the operations with
+/// vector counterparts in SIMD instruction sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Integer addition.
+    IAdd,
+    /// Integer subtraction.
+    ISub,
+    /// Integer multiplication.
+    IMul,
+    /// Integer division (truncating). Division by zero traps in the VM.
+    IDiv,
+    /// Integer remainder. Remainder by zero traps in the VM.
+    IRem,
+    /// Floating-point addition.
+    FAdd,
+    /// Floating-point subtraction.
+    FSub,
+    /// Floating-point multiplication.
+    FMul,
+    /// Floating-point division.
+    FDiv,
+}
+
+impl BinOp {
+    /// Whether this is one of the floating-point candidate operations
+    /// (add/sub/mul/div) characterized by the analysis.
+    pub fn is_fp(self) -> bool {
+        matches!(self, BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv)
+    }
+
+    /// Mnemonic used by the pretty-printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::IAdd => "iadd",
+            BinOp::ISub => "isub",
+            BinOp::IMul => "imul",
+            BinOp::IDiv => "idiv",
+            BinOp::IRem => "irem",
+            BinOp::FAdd => "fadd",
+            BinOp::FSub => "fsub",
+            BinOp::FMul => "fmul",
+            BinOp::FDiv => "fdiv",
+        }
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Integer negation.
+    INeg,
+    /// Floating-point negation.
+    FNeg,
+}
+
+impl UnOp {
+    /// Mnemonic used by the pretty-printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::INeg => "ineg",
+            UnOp::FNeg => "fneg",
+        }
+    }
+}
+
+/// Comparison predicates; the result is an `i64` holding 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than (signed / ordered).
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Mnemonic used by the pretty-printer.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+/// Built-in math functions.
+///
+/// These execute as single IR instructions (like LLVM intrinsics). They
+/// participate in dependences but are not candidate instructions, matching
+/// the paper's restriction of characterization to FP add/sub/mul/div.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intrinsic {
+    /// `e^x`.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Absolute value (floating point).
+    Fabs,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+    /// Round toward negative infinity.
+    Floor,
+    /// Minimum of two floats (propagates the non-NaN operand).
+    Fmin,
+    /// Maximum of two floats (propagates the non-NaN operand).
+    Fmax,
+    /// `x^y` for floats.
+    Pow,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Fmin | Intrinsic::Fmax | Intrinsic::Pow => 2,
+            _ => 1,
+        }
+    }
+
+    /// The source-level name (also the Kern builtin name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Fabs => "fabs",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Floor => "floor",
+            Intrinsic::Fmin => "fmin",
+            Intrinsic::Fmax => "fmax",
+            Intrinsic::Pow => "pow",
+        }
+    }
+
+    /// Looks an intrinsic up by its source-level name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "sqrt" => Intrinsic::Sqrt,
+            "fabs" => Intrinsic::Fabs,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "floor" => Intrinsic::Floor,
+            "fmin" => Intrinsic::Fmin,
+            "fmax" => Intrinsic::Fmax,
+            "pow" => Intrinsic::Pow,
+            _ => return None,
+        })
+    }
+}
+
+/// A non-terminator instruction: a static instruction id, a source span, and
+/// the operation itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inst {
+    /// Module-unique static instruction id.
+    pub id: InstId,
+    /// Source location for reporting.
+    pub span: Span,
+    /// The operation.
+    pub kind: InstKind,
+}
+
+/// The operation performed by an [`Inst`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstKind {
+    /// `dst = lhs <op> rhs` on values of type `ty`.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Operand/result type.
+        ty: ScalarTy,
+        /// Destination register.
+        dst: RegId,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// `dst = <op> src`.
+    Un {
+        /// The operation.
+        op: UnOp,
+        /// Operand/result type.
+        ty: ScalarTy,
+        /// Destination register.
+        dst: RegId,
+        /// Operand.
+        src: Value,
+    },
+    /// `dst = (lhs <op> rhs) ? 1 : 0`; `dst` has type `i64`.
+    Cmp {
+        /// The predicate.
+        op: CmpOp,
+        /// Type of the compared operands.
+        ty: ScalarTy,
+        /// Destination register (i64).
+        dst: RegId,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Value conversion between scalar types (`sitofp`, `fptosi`, float
+    /// width changes, int/ptr reinterpretation).
+    Cast {
+        /// Destination register.
+        dst: RegId,
+        /// Result type.
+        to: ScalarTy,
+        /// Source operand type.
+        from: ScalarTy,
+        /// Operand.
+        src: Value,
+    },
+    /// `dst = *(ty*)addr`.
+    Load {
+        /// Destination register.
+        dst: RegId,
+        /// Loaded type (determines access size).
+        ty: ScalarTy,
+        /// Byte address (pointer-typed value).
+        addr: Value,
+    },
+    /// `*(ty*)addr = value`.
+    Store {
+        /// Stored type (determines access size).
+        ty: ScalarTy,
+        /// Byte address (pointer-typed value).
+        addr: Value,
+        /// Value to store.
+        value: Value,
+    },
+    /// Address computation: `dst = base + Σ indices[i].0 * indices[i].1 + offset`.
+    ///
+    /// The structured form (rather than raw integer arithmetic) lets the
+    /// static model vectorizer recover affine subscripts, just as LLVM's
+    /// analyses recover them from `getelementptr`.
+    Gep {
+        /// Destination register (pointer).
+        dst: RegId,
+        /// Base address.
+        base: Value,
+        /// `(index, scale-in-bytes)` pairs.
+        indices: Vec<(Value, i64)>,
+        /// Constant byte offset.
+        offset: i64,
+    },
+    /// Direct call to another function in the module.
+    Call {
+        /// Destination register for the return value, if non-void.
+        dst: Option<RegId>,
+        /// The callee.
+        callee: FuncId,
+        /// Argument values.
+        args: Vec<Value>,
+    },
+    /// Built-in math function application.
+    Intrin {
+        /// Destination register.
+        dst: RegId,
+        /// Which intrinsic.
+        which: Intrinsic,
+        /// Operand type (`F32` or `F64`).
+        ty: ScalarTy,
+        /// Arguments (`which.arity()` of them).
+        args: Vec<Value>,
+    },
+    /// `dst =` address of the current activation's stack slot at byte
+    /// `offset` within the function frame.
+    FrameAddr {
+        /// Destination register (pointer).
+        dst: RegId,
+        /// Byte offset within the frame.
+        offset: u64,
+    },
+    /// `dst =` address of a module global.
+    GlobalAddr {
+        /// Destination register (pointer).
+        dst: RegId,
+        /// The global whose base address is taken.
+        global: crate::module::GlobalId,
+    },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn dst(&self) -> Option<RegId> {
+        match &self.kind {
+            InstKind::Bin { dst, .. }
+            | InstKind::Un { dst, .. }
+            | InstKind::Cmp { dst, .. }
+            | InstKind::Cast { dst, .. }
+            | InstKind::Load { dst, .. }
+            | InstKind::Gep { dst, .. }
+            | InstKind::Intrin { dst, .. }
+            | InstKind::FrameAddr { dst, .. }
+            | InstKind::GlobalAddr { dst, .. } => Some(*dst),
+            InstKind::Call { dst, .. } => *dst,
+            InstKind::Store { .. } => None,
+        }
+    }
+
+    /// Invokes `f` on every value operand this instruction reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(Value)) {
+        match &self.kind {
+            InstKind::Bin { lhs, rhs, .. } | InstKind::Cmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
+            InstKind::Un { src, .. } | InstKind::Cast { src, .. } => f(*src),
+            InstKind::Load { addr, .. } => f(*addr),
+            InstKind::Store { addr, value, .. } => {
+                f(*addr);
+                f(*value);
+            }
+            InstKind::Gep { base, indices, .. } => {
+                f(*base);
+                for (idx, _) in indices {
+                    f(*idx);
+                }
+            }
+            InstKind::Call { args, .. } | InstKind::Intrin { args, .. } => {
+                for a in args {
+                    f(*a);
+                }
+            }
+            InstKind::FrameAddr { .. } | InstKind::GlobalAddr { .. } => {}
+        }
+    }
+
+    /// Collects the registers this instruction reads.
+    pub fn used_regs(&self) -> Vec<RegId> {
+        let mut regs = Vec::new();
+        self.for_each_use(|v| {
+            if let Value::Reg(r) = v {
+                regs.push(r);
+            }
+        });
+        regs
+    }
+
+    /// Whether this is a floating-point arithmetic *candidate* instruction
+    /// (FP add/sub/mul/div) in the sense of paper §3.
+    pub fn is_fp_candidate(&self) -> bool {
+        match &self.kind {
+            InstKind::Bin { op, ty, .. } => op.is_fp() && ty.is_float(),
+            _ => false,
+        }
+    }
+}
+
+/// Block terminator: a static instruction id, a span, and the control
+/// transfer.
+///
+/// Terminators are traced (for cycle accounting) but never create
+/// data-dependence *sources*: they define no values, and control dependences
+/// are deliberately excluded from the DDG (paper §3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Terminator {
+    /// Module-unique static instruction id.
+    pub id: InstId,
+    /// Source location.
+    pub span: Span,
+    /// The control transfer.
+    pub kind: TermKind,
+}
+
+/// The control transfer performed by a [`Terminator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TermKind {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way branch on an `i64` condition (non-zero = taken).
+    CondBr {
+        /// The condition register/immediate.
+        cond: Value,
+        /// Target when `cond != 0`.
+        then_bb: BlockId,
+        /// Target when `cond == 0`.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Value>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self.kind {
+            TermKind::Br(b) => vec![b],
+            TermKind::CondBr {
+                then_bb, else_bb, ..
+            } => vec![then_bb, else_bb],
+            TermKind::Ret(_) => vec![],
+        }
+    }
+
+    /// Invokes `f` on every value operand the terminator reads.
+    pub fn for_each_use(&self, mut f: impl FnMut(Value)) {
+        match self.kind {
+            TermKind::CondBr { cond, .. } => f(cond),
+            TermKind::Ret(Some(v)) => f(v),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_candidate_classification() {
+        let inst = Inst {
+            id: InstId(0),
+            span: Span::SYNTH,
+            kind: InstKind::Bin {
+                op: BinOp::FAdd,
+                ty: ScalarTy::F64,
+                dst: RegId(0),
+                lhs: Value::ImmFloat(1.0),
+                rhs: Value::ImmFloat(2.0),
+            },
+        };
+        assert!(inst.is_fp_candidate());
+
+        let load = Inst {
+            id: InstId(1),
+            span: Span::SYNTH,
+            kind: InstKind::Load {
+                dst: RegId(1),
+                ty: ScalarTy::F64,
+                addr: Value::Reg(RegId(0)),
+            },
+        };
+        assert!(!load.is_fp_candidate());
+    }
+
+    #[test]
+    fn uses_are_enumerated() {
+        let inst = Inst {
+            id: InstId(0),
+            span: Span::SYNTH,
+            kind: InstKind::Gep {
+                dst: RegId(9),
+                base: Value::Reg(RegId(1)),
+                indices: vec![(Value::Reg(RegId(2)), 8), (Value::ImmInt(3), 64)],
+                offset: 16,
+            },
+        };
+        assert_eq!(inst.used_regs(), vec![RegId(1), RegId(2)]);
+        assert_eq!(inst.dst(), Some(RegId(9)));
+    }
+
+    #[test]
+    fn store_defines_nothing() {
+        let st = Inst {
+            id: InstId(0),
+            span: Span::SYNTH,
+            kind: InstKind::Store {
+                ty: ScalarTy::F64,
+                addr: Value::Reg(RegId(0)),
+                value: Value::Reg(RegId(1)),
+            },
+        };
+        assert_eq!(st.dst(), None);
+        assert_eq!(st.used_regs().len(), 2);
+    }
+
+    #[test]
+    fn intrinsic_lookup() {
+        assert_eq!(Intrinsic::from_name("exp"), Some(Intrinsic::Exp));
+        assert_eq!(Intrinsic::from_name("nope"), None);
+        assert_eq!(Intrinsic::Pow.arity(), 2);
+        assert_eq!(Intrinsic::Sqrt.arity(), 1);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator {
+            id: InstId(0),
+            span: Span::SYNTH,
+            kind: TermKind::CondBr {
+                cond: Value::Reg(RegId(0)),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            },
+        };
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
+        let r = Terminator {
+            id: InstId(1),
+            span: Span::SYNTH,
+            kind: TermKind::Ret(None),
+        };
+        assert!(r.successors().is_empty());
+    }
+}

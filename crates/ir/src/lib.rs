@@ -1,0 +1,74 @@
+//! Register-based compiler IR for the vectorscope analyzer.
+//!
+//! This crate provides the intermediate representation that the rest of the
+//! vectorscope pipeline operates on. It plays the role that LLVM IR plays in
+//! the PLDI 2012 paper *Dynamic Trace-Based Analysis of Vectorization
+//! Potential of Applications*: the unit of analysis is a **static
+//! instruction**, and the dynamic analysis characterizes the run-time
+//! *instances* of each static instruction.
+//!
+//! The IR is a conventional register machine:
+//!
+//! * A [`Module`] holds [`Function`]s and [`Global`]s.
+//! * A [`Function`] is a control-flow graph of [`Block`]s; each block holds a
+//!   list of [`Inst`]s and ends in a [`Terminator`].
+//! * Instructions read [`Value`]s (virtual registers or immediates) and write
+//!   virtual registers; memory is accessed only through [`InstKind::Load`] and
+//!   [`InstKind::Store`], with addresses computed by [`InstKind::Gep`].
+//! * Every instruction carries a module-unique [`InstId`] (the *static
+//!   instruction id* used by the dynamic analysis) and a source [`Span`].
+//!
+//! Registers are mutable (the IR is deliberately *not* SSA): re-assignment in
+//! a loop models exactly what the dynamic analysis needs, namely a
+//! *last-writer* relation per register per activation, mirroring how the
+//! paper's LLVM-based tool tracks dependences "through memory and LLVM
+//! virtual registers".
+//!
+//! In addition to the representation itself the crate provides the classic
+//! structural analyses required by the pipeline:
+//!
+//! * [`cfg`](mod@cfg) — predecessor/successor maps and reverse postorder,
+//! * [`dom`] — dominator tree (Cooper–Harvey–Kennedy),
+//! * [`loops`] — natural-loop detection and the loop forest, used for
+//!   per-loop profiling and sub-trace extraction,
+//! * [`verify`] — a structural verifier,
+//! * a pretty-printer (`Display` impls) for debugging and golden tests.
+//!
+//! # Example
+//!
+//! ```
+//! use vectorscope_ir::{Module, FunctionBuilder, ScalarTy, Value, BinOp};
+//!
+//! let mut module = Module::new("demo");
+//! let mut b = FunctionBuilder::new(&mut module, "axpy", &[ScalarTy::F64, ScalarTy::F64], None);
+//! let x = b.param(0);
+//! let y = b.param(1);
+//! let prod = b.binop(BinOp::FMul, ScalarTy::F64, Value::Reg(x), Value::Reg(y));
+//! b.ret(Some(Value::Reg(prod)));
+//! let func = b.finish();
+//! assert_eq!(module.function(func).name(), "axpy");
+//! ```
+
+#![deny(missing_docs)]
+
+mod builder;
+pub mod cfg;
+pub mod dom;
+mod func;
+mod inst;
+pub mod loops;
+mod module;
+pub mod parse;
+mod print;
+mod types;
+mod value;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use func::{Block, BlockId, Function, RegInfo};
+pub use inst::{
+    BinOp, CmpOp, Inst, InstId, InstKind, Intrinsic, Span, TermKind, Terminator, UnOp,
+};
+pub use module::{FuncId, Global, GlobalId, InstLoc, Module};
+pub use types::ScalarTy;
+pub use value::{RegId, Value};

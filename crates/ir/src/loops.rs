@@ -1,0 +1,364 @@
+//! Natural-loop detection and the loop forest.
+//!
+//! The dynamic analysis reports results *per loop* (the paper's tables cite
+//! `file : line` of hot loops), the profiler attributes cycles to loops, and
+//! sub-trace capture is delimited by loop entry/exit. All three consume the
+//! [`LoopForest`] computed here from back edges in the dominator tree.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::{BlockId, Function};
+use crate::inst::Span;
+
+/// Identifier of a loop within a function's [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// Index into the forest's loop table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LoopId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// A natural loop: a header block plus the set of blocks that can reach a
+/// latch without leaving the header's dominance region.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edges).
+    pub header: BlockId,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop body (header included), sorted.
+    pub blocks: Vec<BlockId>,
+    /// The innermost enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Loops immediately nested inside this one.
+    pub children: Vec<LoopId>,
+    /// Nesting depth (outermost loops have depth 1).
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Whether `b` belongs to the loop body.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+
+    /// Whether this is an innermost loop.
+    pub fn is_innermost(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// All natural loops of a function, with nesting structure.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_ir::{Module, FunctionBuilder, ScalarTy, Value, BinOp, CmpOp};
+/// use vectorscope_ir::loops::LoopForest;
+///
+/// // A single counted loop.
+/// let mut m = Module::new("m");
+/// let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::I64], None);
+/// let n = b.param(0);
+/// let i = b.new_reg(ScalarTy::I64);
+/// b.copy(i, Value::ImmInt(0), ScalarTy::I64);
+/// let header = b.new_block();
+/// let body = b.new_block();
+/// let exit = b.new_block();
+/// b.br(header);
+/// b.switch_to(header);
+/// let c = b.cmp(CmpOp::Lt, ScalarTy::I64, Value::Reg(i), Value::Reg(n));
+/// b.cond_br(Value::Reg(c), body, exit);
+/// b.switch_to(body);
+/// let i2 = b.binop(BinOp::IAdd, ScalarTy::I64, Value::Reg(i), Value::ImmInt(1));
+/// b.copy(i, Value::Reg(i2), ScalarTy::I64);
+/// b.br(header);
+/// b.switch_to(exit);
+/// b.ret(None);
+/// let f = b.finish();
+///
+/// let forest = LoopForest::new(m.function(f));
+/// assert_eq!(forest.loops().len(), 1);
+/// assert_eq!(forest.loops()[0].header, header);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop containing each block (`None` if the block is in no
+    /// loop).
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `func`.
+    ///
+    /// Back edges are CFG edges `latch -> header` where `header` dominates
+    /// `latch`. Back edges sharing a header are merged into one loop
+    /// (standard LLVM-style loop construction). Irreducible cycles (none are
+    /// produced by the Kern frontend) are ignored.
+    pub fn new(func: &Function) -> Self {
+        let cfg = Cfg::new(func);
+        let dt = DomTree::new(func);
+
+        // Collect back edges grouped by header, in header-RPO order for
+        // deterministic loop ids (outer loops get smaller ids).
+        let mut headers: Vec<BlockId> = Vec::new();
+        let mut latches_of: std::collections::HashMap<BlockId, Vec<BlockId>> =
+            std::collections::HashMap::new();
+        for &b in dt.rpo() {
+            for &s in cfg.succs(b) {
+                if dt.dominates(s, b) {
+                    latches_of.entry(s).or_default().push(b);
+                }
+            }
+        }
+        for &b in dt.rpo() {
+            if latches_of.contains_key(&b) {
+                headers.push(b);
+            }
+        }
+
+        // Body discovery: reverse reachability from latches, not crossing the
+        // header.
+        let mut loops: Vec<Loop> = Vec::new();
+        for header in headers {
+            let latches = latches_of[&header].clone();
+            let mut in_body = vec![false; func.blocks().len()];
+            in_body[header.index()] = true;
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &l in &latches {
+                if !in_body[l.index()] {
+                    in_body[l.index()] = true;
+                    stack.push(l);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if !in_body[p.index()] && dt.is_reachable(p) {
+                        in_body[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut blocks: Vec<BlockId> = (0..func.blocks().len() as u32)
+                .map(BlockId)
+                .filter(|b| in_body[b.index()])
+                .collect();
+            blocks.sort();
+            loops.push(Loop {
+                header,
+                latches,
+                blocks,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            });
+        }
+
+        // Nesting: loop A is the parent of B if A contains B's header and A
+        // is the smallest such loop. Headers were emitted in RPO order so an
+        // outer loop always precedes its inner loops.
+        let n_loops = loops.len();
+        for i in 0..n_loops {
+            let header_i = loops[i].header;
+            let mut best: Option<usize> = None;
+            for (j, candidate) in loops.iter().enumerate() {
+                if j == i || !candidate.contains(header_i) {
+                    continue;
+                }
+                // `candidate` must strictly contain loop i.
+                if candidate.blocks.len() <= loops[i].blocks.len() {
+                    continue;
+                }
+                best = match best {
+                    None => Some(j),
+                    Some(cur) if candidate.blocks.len() < loops[cur].blocks.len() => Some(j),
+                    Some(cur) => Some(cur),
+                };
+            }
+            if let Some(p) = best {
+                loops[i].parent = Some(LoopId(p as u32));
+                let child = LoopId(i as u32);
+                loops[p].children.push(child);
+            }
+        }
+        // Depths.
+        for i in 0..n_loops {
+            let mut depth = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        // Innermost loop per block: the containing loop with the greatest
+        // depth.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; func.blocks().len()];
+        for (i, l) in loops.iter().enumerate() {
+            for &b in &l.blocks {
+                let slot = &mut innermost[b.index()];
+                let replace = match slot {
+                    None => true,
+                    Some(cur) => loops[cur.index()].depth < l.depth,
+                };
+                if replace {
+                    *slot = Some(LoopId(i as u32));
+                }
+            }
+        }
+
+        LoopForest { loops, innermost }
+    }
+
+    /// All loops, indexable by [`LoopId::index`]. Outer loops precede the
+    /// loops nested inside them.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The loop `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a loop of this forest.
+    pub fn get(&self, l: LoopId) -> &Loop {
+        &self.loops[l.index()]
+    }
+
+    /// The innermost loop containing block `b`, if any.
+    pub fn innermost_of(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.index()]
+    }
+
+    /// Iterator over `(LoopId, &Loop)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LoopId, &Loop)> {
+        self.loops
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LoopId(i as u32), l))
+    }
+
+    /// A representative source span for loop `l` of `func`: the smallest
+    /// line number among the header's instructions (matching how the paper's
+    /// tables identify loops by source line).
+    pub fn span_of(&self, func: &Function, l: LoopId) -> Span {
+        let header = func.block(self.get(l).header);
+        header
+            .insts
+            .iter()
+            .map(|i| i.span)
+            .chain(header.term.as_ref().map(|t| t.span))
+            .filter(|s| s.line > 0)
+            .min_by_key(|s| (s.line, s.col))
+            .unwrap_or(Span::SYNTH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, CmpOp, FuncId, FunctionBuilder, Module, ScalarTy, Value};
+
+    /// Builds a doubly nested counted loop and returns (module, func,
+    /// outer-header, inner-header).
+    fn nested_loops() -> (Module, FuncId, BlockId, BlockId) {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::I64], None);
+        let n = b.param(0);
+        let i = b.new_reg(ScalarTy::I64);
+        let j = b.new_reg(ScalarTy::I64);
+        let oh = b.new_block(); // outer header
+        let ob = b.new_block(); // outer body = inner preheader
+        let ih = b.new_block(); // inner header
+        let ib = b.new_block(); // inner body
+        let ol = b.new_block(); // outer latch
+        let exit = b.new_block();
+
+        b.copy(i, Value::ImmInt(0), ScalarTy::I64);
+        b.br(oh);
+        b.switch_to(oh);
+        let c0 = b.cmp(CmpOp::Lt, ScalarTy::I64, Value::Reg(i), Value::Reg(n));
+        b.cond_br(Value::Reg(c0), ob, exit);
+        b.switch_to(ob);
+        b.copy(j, Value::ImmInt(0), ScalarTy::I64);
+        b.br(ih);
+        b.switch_to(ih);
+        let c1 = b.cmp(CmpOp::Lt, ScalarTy::I64, Value::Reg(j), Value::Reg(n));
+        b.cond_br(Value::Reg(c1), ib, ol);
+        b.switch_to(ib);
+        let j2 = b.binop(BinOp::IAdd, ScalarTy::I64, Value::Reg(j), Value::ImmInt(1));
+        b.copy(j, Value::Reg(j2), ScalarTy::I64);
+        b.br(ih);
+        b.switch_to(ol);
+        let i2 = b.binop(BinOp::IAdd, ScalarTy::I64, Value::Reg(i), Value::ImmInt(1));
+        b.copy(i, Value::Reg(i2), ScalarTy::I64);
+        b.br(oh);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        (m, f, oh, ih)
+    }
+
+    #[test]
+    fn detects_nested_loops() {
+        let (m, f, oh, ih) = nested_loops();
+        let forest = LoopForest::new(m.function(f));
+        assert_eq!(forest.loops().len(), 2);
+
+        let outer = forest
+            .iter()
+            .find(|(_, l)| l.header == oh)
+            .map(|(id, _)| id)
+            .unwrap();
+        let inner = forest
+            .iter()
+            .find(|(_, l)| l.header == ih)
+            .map(|(id, _)| id)
+            .unwrap();
+
+        assert_eq!(forest.get(inner).parent, Some(outer));
+        assert_eq!(forest.get(outer).parent, None);
+        assert_eq!(forest.get(outer).depth, 1);
+        assert_eq!(forest.get(inner).depth, 2);
+        assert!(forest.get(inner).is_innermost());
+        assert!(!forest.get(outer).is_innermost());
+        // Inner body blocks resolve to the inner loop.
+        assert_eq!(forest.innermost_of(ih), Some(inner));
+        // Outer latch resolves to the outer loop.
+        let ol = forest.get(outer).latches[0];
+        assert_eq!(forest.innermost_of(ol), Some(outer));
+        // Outer loop id precedes inner (RPO ordering).
+        assert!(outer < inner);
+    }
+
+    #[test]
+    fn no_loops_in_straightline_code() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
+        b.ret(None);
+        let f = b.finish();
+        let forest = LoopForest::new(m.function(f));
+        assert!(forest.loops().is_empty());
+        assert_eq!(forest.innermost_of(BlockId(0)), None);
+    }
+
+    #[test]
+    fn outer_body_contains_inner_blocks() {
+        let (m, f, oh, _) = nested_loops();
+        let forest = LoopForest::new(m.function(f));
+        let (_, outer) = forest.iter().find(|(_, l)| l.header == oh).unwrap();
+        // Outer loop body: oh, ob, ih, ib, ol = 5 blocks.
+        assert_eq!(outer.blocks.len(), 5);
+    }
+}

@@ -1,0 +1,157 @@
+//! Pretty-printing of IR (Display impls and a module dumper).
+
+use crate::func::Function;
+use crate::inst::{Inst, InstKind, TermKind, Terminator};
+use crate::module::Module;
+use std::fmt;
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            InstKind::Bin { op, ty, dst, lhs, rhs } => {
+                write!(f, "{dst} = {}.{ty} {lhs}, {rhs}", op.mnemonic())
+            }
+            InstKind::Un { op, ty, dst, src } => {
+                write!(f, "{dst} = {}.{ty} {src}", op.mnemonic())
+            }
+            InstKind::Cmp { op, ty, dst, lhs, rhs } => {
+                write!(f, "{dst} = cmp.{}.{ty} {lhs}, {rhs}", op.mnemonic())
+            }
+            InstKind::Cast { dst, to, from, src } => {
+                if to == from {
+                    write!(f, "{dst} = copy.{to} {src}")
+                } else {
+                    write!(f, "{dst} = cast.{from}.{to} {src}")
+                }
+            }
+            InstKind::Load { dst, ty, addr } => write!(f, "{dst} = load.{ty} [{addr}]"),
+            InstKind::Store { ty, addr, value } => write!(f, "store.{ty} [{addr}], {value}"),
+            InstKind::Gep { dst, base, indices, offset } => {
+                write!(f, "{dst} = gep {base}")?;
+                for (idx, scale) in indices {
+                    write!(f, " + {idx}*{scale}")?;
+                }
+                if *offset != 0 {
+                    write!(f, " + {offset}")?;
+                }
+                Ok(())
+            }
+            InstKind::Call { dst, callee, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call fn{}(", callee.0)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            InstKind::Intrin { dst, which, ty, args } => {
+                write!(f, "{dst} = {}.{ty}(", which.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            InstKind::FrameAddr { dst, offset } => write!(f, "{dst} = frame_addr {offset}"),
+            InstKind::GlobalAddr { dst, global } => write!(f, "{dst} = global_addr @{}", global.0),
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            TermKind::Br(b) => write!(f, "br {b}"),
+            TermKind::CondBr { cond, then_bb, else_bb } => {
+                write!(f, "condbr {cond}, {then_bb}, {else_bb}")
+            }
+            TermKind::Ret(Some(v)) => write!(f, "ret {v}"),
+            TermKind::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name())?;
+        for (i, p) in self.params().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {}", self.reg(*p).ty)?;
+        }
+        write!(f, ")")?;
+        if let Some(ty) = self.ret_ty() {
+            write!(f, " -> {ty}")?;
+        }
+        writeln!(f, " {{")?;
+        if self.frame_size() > 0 {
+            writeln!(f, "  frame {} bytes", self.frame_size())?;
+        }
+        for (b, block) in self.iter_blocks() {
+            writeln!(f, "{b}:")?;
+            for inst in &block.insts {
+                writeln!(f, "  {inst}  ; {} @{}", inst.id, inst.span)?;
+            }
+            if let Some(t) = &block.term {
+                writeln!(f, "  {t}  ; {} @{}", t.id, t.span)?;
+            } else {
+                writeln!(f, "  <unterminated>")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name())?;
+        for g in self.globals() {
+            writeln!(f, "  global {} : {} bytes", g.name, g.size)?;
+        }
+        for func in self.functions() {
+            for line in func.to_string().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BinOp, FunctionBuilder, Module, ScalarTy, Value};
+
+    #[test]
+    fn prints_function() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::F64], Some(ScalarTy::F64));
+        let p = b.param(0);
+        let r = b.binop(BinOp::FMul, ScalarTy::F64, Value::Reg(p), Value::Reg(p));
+        b.ret(Some(Value::Reg(r)));
+        let f = b.finish();
+        let text = m.function(f).to_string();
+        assert!(text.contains("fn f(%0: f64) -> f64"), "{text}");
+        assert!(text.contains("fmul.f64"), "{text}");
+        assert!(text.contains("ret %1"), "{text}");
+    }
+
+    #[test]
+    fn prints_module_with_global() {
+        let mut m = Module::new("m");
+        m.add_global("a", 128, Some(ScalarTy::F64));
+        let mut b = FunctionBuilder::new(&mut m, "main", &[], None);
+        b.ret(None);
+        b.finish();
+        let text = m.to_string();
+        assert!(text.contains("global a : 128 bytes"), "{text}");
+        assert!(text.contains("module m"), "{text}");
+    }
+}

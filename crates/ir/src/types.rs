@@ -1,0 +1,94 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Scalar machine types supported by the IR.
+///
+/// The dynamic analysis cares about two properties of a type: how it is
+/// classified (integer vs. floating point, because only floating-point
+/// arithmetic instructions are *candidates* for vectorization in the paper's
+/// default configuration) and its in-memory size (because the unit-stride
+/// check compares address deltas against the element size).
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_ir::ScalarTy;
+/// assert_eq!(ScalarTy::F64.size(), 8);
+/// assert!(ScalarTy::F32.is_float());
+/// assert!(!ScalarTy::I64.is_float());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalarTy {
+    /// 64-bit signed integer (also used for booleans: 0 / 1).
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Byte address into the VM's flat memory (64-bit).
+    Ptr,
+}
+
+impl ScalarTy {
+    /// Size of a value of this type in bytes when stored in memory.
+    pub fn size(self) -> u64 {
+        match self {
+            ScalarTy::I64 | ScalarTy::F64 | ScalarTy::Ptr => 8,
+            ScalarTy::F32 => 4,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    ///
+    /// Floating-point arithmetic instructions are the *candidate
+    /// instructions* of the analysis (paper §3, "Candidate Instructions").
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarTy::F32 | ScalarTy::F64)
+    }
+
+    /// Whether this is an integer-classed type (integers and pointers).
+    pub fn is_int(self) -> bool {
+        !self.is_float()
+    }
+}
+
+impl fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScalarTy::I64 => "i64",
+            ScalarTy::F32 => "f32",
+            ScalarTy::F64 => "f64",
+            ScalarTy::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(ScalarTy::I64.size(), 8);
+        assert_eq!(ScalarTy::F32.size(), 4);
+        assert_eq!(ScalarTy::F64.size(), 8);
+        assert_eq!(ScalarTy::Ptr.size(), 8);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(ScalarTy::F32.is_float());
+        assert!(ScalarTy::F64.is_float());
+        assert!(!ScalarTy::I64.is_float());
+        assert!(!ScalarTy::Ptr.is_float());
+        assert!(ScalarTy::I64.is_int());
+        assert!(ScalarTy::Ptr.is_int());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ScalarTy::F64.to_string(), "f64");
+        assert_eq!(ScalarTy::Ptr.to_string(), "ptr");
+    }
+}

@@ -1,0 +1,103 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a virtual register, scoped to a [`Function`].
+///
+/// Registers are mutable: an instruction may redefine a register that was
+/// defined earlier (the IR is not SSA). The dynamic analysis resolves each
+/// *use* to the most recent dynamic *definition* within the same function
+/// activation, which is exactly the flow-dependence relation the paper tracks
+/// through LLVM virtual registers.
+///
+/// [`Function`]: crate::Function
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegId(pub u32);
+
+impl RegId {
+    /// The register's index within its function's register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// An operand of an instruction: either a virtual register or an immediate.
+///
+/// # Example
+///
+/// ```
+/// use vectorscope_ir::{RegId, Value};
+/// let v = Value::Reg(RegId(3));
+/// assert_eq!(v.as_reg(), Some(RegId(3)));
+/// assert_eq!(Value::ImmInt(7).as_reg(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Read of a virtual register.
+    Reg(RegId),
+    /// Integer immediate (also used for pointer-typed constants, e.g. null).
+    ImmInt(i64),
+    /// Floating-point immediate.
+    ImmFloat(f64),
+}
+
+impl Value {
+    /// Returns the register if this operand reads one.
+    pub fn as_reg(self) -> Option<RegId> {
+        match self {
+            Value::Reg(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand is an immediate (no register read).
+    pub fn is_imm(self) -> bool {
+        !matches!(self, Value::Reg(_))
+    }
+}
+
+impl From<RegId> for Value {
+    fn from(r: RegId) -> Self {
+        Value::Reg(r)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Reg(r) => write!(f, "{r}"),
+            Value::ImmInt(i) => write!(f, "{i}"),
+            Value::ImmFloat(x) => write!(f, "{x:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        let v: Value = RegId(5).into();
+        assert_eq!(v.as_reg(), Some(RegId(5)));
+        assert!(!v.is_imm());
+    }
+
+    #[test]
+    fn immediates() {
+        assert!(Value::ImmInt(0).is_imm());
+        assert!(Value::ImmFloat(1.5).is_imm());
+        assert_eq!(Value::ImmInt(-3).to_string(), "-3");
+        assert_eq!(Value::ImmFloat(2.0).to_string(), "2.0");
+    }
+
+    #[test]
+    fn display_reg() {
+        assert_eq!(RegId(12).to_string(), "%12");
+    }
+}

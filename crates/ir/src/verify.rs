@@ -1,0 +1,396 @@
+//! Structural verification of IR modules.
+//!
+//! The verifier catches the malformed-IR classes that would otherwise surface
+//! as confusing VM traps or bogus analysis results: dangling block/register
+//! references, type mismatches on operands, calls with wrong arity, and
+//! loads/stores whose address operand is not pointer-typed.
+
+use crate::func::{BlockId, Function};
+use crate::inst::{Inst, InstKind, TermKind};
+use crate::module::{FuncId, Module};
+use crate::types::ScalarTy;
+use crate::value::{RegId, Value};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem was found.
+    pub func: String,
+    /// Block in which the problem was found, when applicable.
+    pub block: Option<BlockId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "verify: {}/{}: {}", self.func, b, self.message),
+            None => write!(f, "verify: {}: {}", self.func, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function of `module`; returns the first error found.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] describing the first structural problem.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for i in 0..module.functions().len() {
+        verify_function(module, FuncId(i as u32))?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] describing the first structural problem.
+pub fn verify_function(module: &Module, f: FuncId) -> Result<(), VerifyError> {
+    let func = module.function(f);
+    let checker = Checker { module, func };
+    checker.run()
+}
+
+struct Checker<'a> {
+    module: &'a Module,
+    func: &'a Function,
+}
+
+impl Checker<'_> {
+    fn err(&self, block: Option<BlockId>, message: String) -> VerifyError {
+        VerifyError {
+            func: self.func.name().to_string(),
+            block,
+            message,
+        }
+    }
+
+    fn run(&self) -> Result<(), VerifyError> {
+        for (b, block) in self.func.iter_blocks() {
+            for inst in &block.insts {
+                self.check_inst(b, inst)?;
+            }
+            let term = block
+                .term
+                .as_ref()
+                .ok_or_else(|| self.err(Some(b), "missing terminator".into()))?;
+            match term.kind {
+                TermKind::Br(t) => self.check_block_ref(b, t)?,
+                TermKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    self.check_value(b, cond, Some(ScalarTy::I64), "condbr condition")?;
+                    self.check_block_ref(b, then_bb)?;
+                    self.check_block_ref(b, else_bb)?;
+                }
+                TermKind::Ret(v) => match (v, self.func.ret_ty()) {
+                    (None, None) => {}
+                    (Some(v), Some(ty)) => {
+                        self.check_value(b, v, Some(ty), "return value")?;
+                    }
+                    (None, Some(_)) => {
+                        return Err(self.err(Some(b), "missing return value".into()))
+                    }
+                    (Some(_), None) => {
+                        return Err(self.err(Some(b), "return value in void function".into()))
+                    }
+                },
+            }
+        }
+        Ok(())
+    }
+
+    fn check_block_ref(&self, b: BlockId, target: BlockId) -> Result<(), VerifyError> {
+        if target.index() >= self.func.blocks().len() {
+            return Err(self.err(Some(b), format!("branch to unknown block {target}")));
+        }
+        Ok(())
+    }
+
+    fn check_reg(&self, b: BlockId, r: RegId, what: &str) -> Result<ScalarTy, VerifyError> {
+        if r.index() >= self.func.num_regs() {
+            return Err(self.err(Some(b), format!("{what}: unknown register {r}")));
+        }
+        Ok(self.func.reg(r).ty)
+    }
+
+    fn check_value(
+        &self,
+        b: BlockId,
+        v: Value,
+        expect: Option<ScalarTy>,
+        what: &str,
+    ) -> Result<(), VerifyError> {
+        match v {
+            Value::Reg(r) => {
+                let ty = self.check_reg(b, r, what)?;
+                if let Some(want) = expect {
+                    // Pointers and i64 interconvert freely at the machine
+                    // level (both are 64-bit integers in the VM).
+                    let compatible = ty == want
+                        || (ty == ScalarTy::Ptr && want == ScalarTy::I64)
+                        || (ty == ScalarTy::I64 && want == ScalarTy::Ptr);
+                    if !compatible {
+                        return Err(self.err(
+                            Some(b),
+                            format!("{what}: register {r} has type {ty}, expected {want}"),
+                        ));
+                    }
+                }
+            }
+            Value::ImmInt(_) => {
+                if let Some(want) = expect {
+                    if want.is_float() {
+                        return Err(
+                            self.err(Some(b), format!("{what}: integer immediate where {want} expected"))
+                        );
+                    }
+                }
+            }
+            Value::ImmFloat(_) => {
+                if let Some(want) = expect {
+                    if !want.is_float() {
+                        return Err(
+                            self.err(Some(b), format!("{what}: float immediate where {want} expected"))
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_inst(&self, b: BlockId, inst: &Inst) -> Result<(), VerifyError> {
+        match &inst.kind {
+            InstKind::Bin { op, ty, dst, lhs, rhs } => {
+                if op.is_fp() != ty.is_float() {
+                    return Err(self.err(
+                        Some(b),
+                        format!("{} on operands of type {ty}", op.mnemonic()),
+                    ));
+                }
+                self.check_value(b, *lhs, Some(*ty), op.mnemonic())?;
+                self.check_value(b, *rhs, Some(*ty), op.mnemonic())?;
+                let dty = self.check_reg(b, *dst, op.mnemonic())?;
+                self.expect_reg_ty(b, *dst, dty, *ty, op.mnemonic())?;
+            }
+            InstKind::Un { op, ty, dst, src } => {
+                self.check_value(b, *src, Some(*ty), op.mnemonic())?;
+                let dty = self.check_reg(b, *dst, op.mnemonic())?;
+                self.expect_reg_ty(b, *dst, dty, *ty, op.mnemonic())?;
+            }
+            InstKind::Cmp { op, ty, dst, lhs, rhs } => {
+                self.check_value(b, *lhs, Some(*ty), op.mnemonic())?;
+                self.check_value(b, *rhs, Some(*ty), op.mnemonic())?;
+                let dty = self.check_reg(b, *dst, op.mnemonic())?;
+                self.expect_reg_ty(b, *dst, dty, ScalarTy::I64, op.mnemonic())?;
+            }
+            InstKind::Cast { dst, to, from, src } => {
+                self.check_value(b, *src, Some(*from), "cast")?;
+                let dty = self.check_reg(b, *dst, "cast")?;
+                self.expect_reg_ty(b, *dst, dty, *to, "cast")?;
+            }
+            InstKind::Load { dst, ty, addr } => {
+                self.check_value(b, *addr, Some(ScalarTy::Ptr), "load address")?;
+                let dty = self.check_reg(b, *dst, "load")?;
+                self.expect_reg_ty(b, *dst, dty, *ty, "load")?;
+            }
+            InstKind::Store { ty, addr, value } => {
+                self.check_value(b, *addr, Some(ScalarTy::Ptr), "store address")?;
+                self.check_value(b, *value, Some(*ty), "store value")?;
+            }
+            InstKind::Gep { dst, base, indices, .. } => {
+                self.check_value(b, *base, Some(ScalarTy::Ptr), "gep base")?;
+                for (idx, scale) in indices {
+                    self.check_value(b, *idx, Some(ScalarTy::I64), "gep index")?;
+                    if *scale == 0 {
+                        return Err(self.err(Some(b), "gep index with zero scale".into()));
+                    }
+                }
+                let dty = self.check_reg(b, *dst, "gep")?;
+                self.expect_reg_ty(b, *dst, dty, ScalarTy::Ptr, "gep")?;
+            }
+            InstKind::Call { dst, callee, args } => {
+                if callee.index() >= self.module.functions().len() {
+                    return Err(self.err(Some(b), format!("call to unknown function {callee:?}")));
+                }
+                let target = self.module.function(*callee);
+                if args.len() != target.params().len() {
+                    return Err(self.err(
+                        Some(b),
+                        format!(
+                            "call to `{}` passes {} args, expected {}",
+                            target.name(),
+                            args.len(),
+                            target.params().len()
+                        ),
+                    ));
+                }
+                for (i, a) in args.iter().enumerate() {
+                    let want = target.reg(target.params()[i]).ty;
+                    self.check_value(b, *a, Some(want), "call argument")?;
+                }
+                match (dst, target.ret_ty()) {
+                    (Some(d), Some(ty)) => {
+                        let dty = self.check_reg(b, *d, "call result")?;
+                        self.expect_reg_ty(b, *d, dty, ty, "call result")?;
+                    }
+                    (Some(_), None) => {
+                        return Err(self.err(
+                            Some(b),
+                            format!("call result register for void callee `{}`", target.name()),
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+            InstKind::Intrin { dst, which, ty, args } => {
+                if !ty.is_float() {
+                    return Err(self.err(
+                        Some(b),
+                        format!("intrinsic {} on non-float type {ty}", which.name()),
+                    ));
+                }
+                if args.len() != which.arity() {
+                    return Err(self.err(
+                        Some(b),
+                        format!(
+                            "intrinsic {} takes {} args, got {}",
+                            which.name(),
+                            which.arity(),
+                            args.len()
+                        ),
+                    ));
+                }
+                for a in args {
+                    self.check_value(b, *a, Some(*ty), which.name())?;
+                }
+                let dty = self.check_reg(b, *dst, which.name())?;
+                self.expect_reg_ty(b, *dst, dty, *ty, which.name())?;
+            }
+            InstKind::FrameAddr { dst, offset } => {
+                if *offset >= self.func.frame_size().max(1) {
+                    return Err(self.err(
+                        Some(b),
+                        format!(
+                            "frame address offset {offset} outside frame of {} bytes",
+                            self.func.frame_size()
+                        ),
+                    ));
+                }
+                let dty = self.check_reg(b, *dst, "frame_addr")?;
+                self.expect_reg_ty(b, *dst, dty, ScalarTy::Ptr, "frame_addr")?;
+            }
+            InstKind::GlobalAddr { dst, global } => {
+                if global.index() >= self.module.globals().len() {
+                    return Err(self.err(Some(b), format!("unknown global {global:?}")));
+                }
+                let dty = self.check_reg(b, *dst, "global_addr")?;
+                self.expect_reg_ty(b, *dst, dty, ScalarTy::Ptr, "global_addr")?;
+            }
+        }
+        Ok(())
+    }
+
+    fn expect_reg_ty(
+        &self,
+        b: BlockId,
+        r: RegId,
+        got: ScalarTy,
+        want: ScalarTy,
+        what: &str,
+    ) -> Result<(), VerifyError> {
+        let compatible = got == want
+            || (got == ScalarTy::Ptr && want == ScalarTy::I64)
+            || (got == ScalarTy::I64 && want == ScalarTy::Ptr);
+        if !compatible {
+            return Err(self.err(
+                Some(b),
+                format!("{what}: destination {r} has type {got}, expected {want}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, FunctionBuilder};
+
+    #[test]
+    fn accepts_wellformed() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::F64], Some(ScalarTy::F64));
+        let p = b.param(0);
+        let r = b.binop(BinOp::FAdd, ScalarTy::F64, Value::Reg(p), Value::ImmFloat(1.0));
+        b.ret(Some(Value::Reg(r)));
+        b.finish();
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::I64], None);
+        let p = b.param(0);
+        // fadd on an integer register: ill-typed.
+        let _ = b.binop(BinOp::FAdd, ScalarTy::F64, Value::Reg(p), Value::ImmFloat(1.0));
+        b.ret(None);
+        b.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("type"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn rejects_int_imm_in_float_slot() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
+        let _ = b.binop(BinOp::FAdd, ScalarTy::F64, Value::ImmInt(1), Value::ImmFloat(1.0));
+        b.ret(None);
+        b.finish();
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_return_value() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "f", &[], Some(ScalarTy::I64));
+        b.ret(None);
+        b.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("missing return value"));
+    }
+
+    #[test]
+    fn rejects_bad_call_arity() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new(&mut m, "callee", &[ScalarTy::F64], None);
+        b.ret(None);
+        let callee = b.finish();
+        let mut b = FunctionBuilder::new(&mut m, "caller", &[], None);
+        b.call(callee, vec![]);
+        b.ret(None);
+        b.finish();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.message.contains("args"));
+    }
+
+    #[test]
+    fn error_display_mentions_function() {
+        let e = VerifyError {
+            func: "f".into(),
+            block: Some(BlockId(2)),
+            message: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "verify: f/bb2: boom");
+    }
+}

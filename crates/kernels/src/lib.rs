@@ -1,0 +1,176 @@
+//! Benchmark kernel suite for vectorscope.
+//!
+//! The paper evaluates on SPEC CFP2006, the UTDSP suite, and two
+//! stand-alone kernels, none of which can ship here. Instead this crate
+//! provides Kern implementations of **every loop pattern the paper's
+//! evaluation depends on**, organized exactly like the paper's tables:
+//!
+//! * [`studies`] — the five case-study kernels of §4.4, each in an
+//!   *original* and a *transformed* version (Gauss-Seidel split loops, PDE
+//!   solver hoisted boundary test, bwaves layout transpose + peel, milc
+//!   AoS→SoA, gromacs strip-mine + distribute). Original and transformed
+//!   versions compute identical results — tests verify this.
+//! * [`utdsp`] — six DSP kernels (FFT, FIR, IIR, LATNRM, LMSFIR, MULT) in
+//!   **array** and **pointer** variants of identical functionality
+//!   (Table 3).
+//! * [`spec`] — loop-pattern stand-ins for the SPEC CFP2006 rows of
+//!   Table 1, one per benchmark the paper lists, reproducing each row's
+//!   qualitative signature (e.g. 433.milc's AoS accesses, 435.gromacs's
+//!   indirection, 470.lbm's fully-packed streaming loop, 453.povray's
+//!   irregular control flow).
+//!
+//! # Example
+//!
+//! ```
+//! use vectorscope_kernels::{all_kernels, Group};
+//!
+//! let kernels = all_kernels();
+//! assert!(kernels.iter().any(|k| k.name == "gauss_seidel"));
+//! // Every kernel compiles.
+//! for k in kernels.iter().filter(|k| k.group == Group::Study) {
+//!     k.compile().unwrap();
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod paper;
+pub mod spec;
+pub mod studies;
+pub mod utdsp;
+
+use vectorscope_frontend::CompileError;
+use vectorscope_ir::Module;
+
+/// Which table of the paper a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// SPEC CFP2006 stand-ins (Table 1).
+    Spec,
+    /// Stand-alone compute kernels / case studies (Tables 2 and 4).
+    Study,
+    /// UTDSP kernels (Table 3).
+    Utdsp,
+}
+
+/// Code-style or transformation variant of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The only version.
+    Sole,
+    /// Array-subscript style (UTDSP).
+    Array,
+    /// Pointer-walk style (UTDSP).
+    Pointer,
+    /// As published / before manual transformation.
+    Original,
+    /// After the paper's manual transformation.
+    Transformed,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Variant::Sole => "sole",
+            Variant::Array => "array",
+            Variant::Pointer => "pointer",
+            Variant::Original => "original",
+            Variant::Transformed => "transformed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One benchmark kernel: a complete Kern program with a `main`.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Short name (`gauss_seidel`, `fir`, `spec_milc`, ...).
+    pub name: &'static str,
+    /// Which paper table it belongs to.
+    pub group: Group,
+    /// Which variant this is.
+    pub variant: Variant,
+    /// The full Kern source.
+    pub source: String,
+    /// Names of `double` globals holding the kernel's results, for
+    /// cross-variant equivalence checks (same order, same lengths).
+    pub outputs: &'static [&'static str],
+}
+
+impl Kernel {
+    /// The source file name used in reports (`<name>.kern`, with the
+    /// variant suffixed when not [`Variant::Sole`]).
+    pub fn file_name(&self) -> String {
+        match self.variant {
+            Variant::Sole => format!("{}.kern", self.name),
+            v => format!("{}_{v}.kern", self.name),
+        }
+    }
+
+    /// Compiles the kernel to IR.
+    ///
+    /// # Errors
+    ///
+    /// Returns the frontend's [`CompileError`] — which the test suite treats
+    /// as a bug in this crate.
+    pub fn compile(&self) -> Result<Module, CompileError> {
+        vectorscope_frontend::compile(&self.file_name(), &self.source)
+    }
+}
+
+/// Every kernel in the suite (including the paper's inline listings at
+/// their default sizes).
+pub fn all_kernels() -> Vec<Kernel> {
+    let mut v = Vec::new();
+    v.extend(studies::kernels());
+    v.extend(utdsp::kernels());
+    v.extend(spec::kernels());
+    v.push(paper::listing1(8));
+    v.push(paper::listing2(8));
+    v.push(paper::listing3_original(12));
+    v.push(paper::listing3_transformed(12));
+    v
+}
+
+/// Looks a kernel up by name and variant.
+pub fn find(name: &str, variant: Variant) -> Option<Kernel> {
+    all_kernels()
+        .into_iter()
+        .find(|k| k.name == name && k.variant == variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_compiles() {
+        for k in all_kernels() {
+            if let Err(e) = k.compile() {
+                panic!("kernel {} ({}) failed to compile: {e}", k.name, k.variant);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique_per_variant() {
+        let ks = all_kernels();
+        for (i, a) in ks.iter().enumerate() {
+            for b in &ks[i + 1..] {
+                assert!(
+                    !(a.name == b.name && a.variant == b.variant),
+                    "duplicate kernel {} {}",
+                    a.name,
+                    a.variant
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("gauss_seidel", Variant::Original).is_some());
+        assert!(find("fir", Variant::Pointer).is_some());
+        assert!(find("nope", Variant::Sole).is_none());
+    }
+}

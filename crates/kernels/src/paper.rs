@@ -1,0 +1,213 @@
+//! The paper's inline listings (Listings 1–4) as runnable kernels.
+//!
+//! These are the tiny examples the paper uses to *explain* the analysis
+//! (§2, §3.3); the figures and several tests are built on them. Keeping
+//! them here, next to the evaluation kernels, makes every piece of code the
+//! paper shows executable.
+
+use crate::{Group, Kernel, Variant};
+
+/// Listing 1: a serial chain (S1) feeding a per-column recurrence (S2).
+///
+/// ```text
+/// for (i = 1; i < N; ++i) A[i] = 2.0 * A[i-1];            // S1
+/// for (i = 0; i < N; ++i)
+///   for (j = 1; j < N; ++j) B[j][i] = B[j-1][i] * A[i];   // S2
+/// ```
+///
+/// Figure 1 derives from this: S2's instances with equal `j` form one
+/// partition of size N.
+pub fn listing1(n: u64) -> Kernel {
+    let source = format!(
+        r#"
+const int N = {n};
+double a[N];
+double b[N][N];
+void main() {{
+    a[0] = 1.0;
+    for (int j = 0; j < N; j++) {{ b[0][j] = (double)(j + 1); }}
+    for (int i = 1; i < N; i++) {{ a[i] = 2.0 * a[i-1]; }}
+    for (int i = 0; i < N; i++)
+        for (int j = 1; j < N; j++)
+            b[j][i] = b[j-1][i] * a[i];
+}}
+"#
+    );
+    Kernel {
+        name: "listing1",
+        group: Group::Study,
+        variant: Variant::Sole,
+        source,
+        outputs: &["b"],
+    }
+}
+
+/// Listing 2: the loop-carried S2→S1 dependence that defeats loop-level
+/// analysis (Figure 2).
+///
+/// ```text
+/// for (i = 1; i < N; ++i) {
+///   A[i] = 2.0 * B[i-1];   // S1
+///   B[i] = 0.5 * C[i];     // S2
+/// }
+/// ```
+pub fn listing2(n: u64) -> Kernel {
+    let source = format!(
+        r#"
+const int N = {n};
+double a[N];
+double b[N];
+double c[N];
+void main() {{
+    for (int i = 0; i < N; i++) {{ c[i] = (double)(i + 1) * 0.5; }}
+    b[0] = 1.0;
+    for (int i = 1; i < N; i++) {{
+        a[i] = 2.0 * b[i-1];
+        b[i] = 0.5 * c[i];
+    }}
+}}
+"#
+    );
+    Kernel {
+        name: "listing2",
+        group: Group::Study,
+        variant: Variant::Sole,
+        source,
+        outputs: &["a", "b"],
+    }
+}
+
+/// Listing 3: the paper's data-layout motivation — a column-recurrence loop
+/// whose parallel dimension has stride N, and an array-of-structures loop
+/// with stride-2 field access.
+///
+/// ```text
+/// for (i) for (j) A[i][j] = 2*A[i][j-1] - A[i][j-2];      // S1
+/// for (i) { C[i].x = B[i].x + B[i].y;                     // S2
+///           C[i].y = B[i].x - B[i].y; }                   // S3
+/// ```
+pub fn listing3_original(n: u64) -> Kernel {
+    let source = format!(
+        r#"
+const int N = {n};
+double a[N][N];
+struct pt {{ double x; double y; }};
+pt b[N];
+pt c[N];
+double rnd(int k) {{
+    int h = (k * 1103515245 + 12345) % 100000;
+    if (h < 0) {{ h = -h; }}
+    return (double)h * 0.00001;
+}}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        for (int j = 0; j < N; j++) {{ a[i][j] = rnd(i * N + j); }}
+        b[i].x = rnd(i + 7000);
+        b[i].y = rnd(i + 8000);
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < N; i++)
+        for (int j = 2; j < N; j++)
+            a[i][j] = 2.0 * a[i][j-1] - a[i][j-2];
+    for (int i = 0; i < N; i++) {{
+        c[i].x = b[i].x + b[i].y;
+        c[i].y = b[i].x - b[i].y;
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "listing3",
+        group: Group::Study,
+        variant: Variant::Original,
+        source,
+        outputs: &["a"],
+    }
+}
+
+/// Listing 4: the paper's transformed Listing 3 — loops interchanged with a
+/// transposed array, and the array-of-structures converted to a
+/// structure-of-arrays. Both loops become unit-stride and vectorizable.
+pub fn listing3_transformed(n: u64) -> Kernel {
+    let source = format!(
+        r#"
+const int N = {n};
+double at[N][N];   // transposed: at[j][i] == a[i][j]
+double bx[N];
+double by[N];
+double cx[N];
+double cy[N];
+double rnd(int k) {{
+    int h = (k * 1103515245 + 12345) % 100000;
+    if (h < 0) {{ h = -h; }}
+    return (double)h * 0.00001;
+}}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        for (int j = 0; j < N; j++) {{ at[j][i] = rnd(i * N + j); }}
+        bx[i] = rnd(i + 7000);
+        by[i] = rnd(i + 8000);
+    }}
+}}
+void kernel() {{
+    for (int j = 2; j < N; j++)
+        for (int i = 0; i < N; i++)
+            at[j][i] = 2.0 * at[j-1][i] - at[j-2][i];
+    for (int i = 0; i < N; i++) {{
+        cx[i] = bx[i] + by[i];
+        cy[i] = bx[i] - by[i];
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "listing3",
+        group: Group::Study,
+        variant: Variant::Transformed,
+        source,
+        outputs: &["at"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorscope_interp::Vm;
+
+    #[test]
+    fn listings_compile_and_run() {
+        for k in [
+            listing1(8),
+            listing2(8),
+            listing3_original(8),
+            listing3_transformed(8),
+        ] {
+            let module = k.compile().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let mut vm = Vm::new(&module);
+            vm.run_main().unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn listing3_values_match_across_layouts() {
+        let n = 8u64;
+        let orig = listing3_original(n);
+        let trans = listing3_transformed(n);
+        let mo = orig.compile().unwrap();
+        let mt = trans.compile().unwrap();
+        let mut vo = Vm::new(&mo);
+        vo.run_main().unwrap();
+        let mut vt = Vm::new(&mt);
+        vt.run_main().unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let a = vo.read_global("a", i * n + j);
+                let at = vt.read_global("at", j * n + i);
+                assert_eq!(a, at, "a[{i}][{j}] vs at[{j}][{i}]");
+            }
+        }
+    }
+}

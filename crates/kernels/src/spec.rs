@@ -1,0 +1,507 @@
+//! SPEC CFP2006 loop-pattern stand-ins (Table 1).
+//!
+//! The paper profiles the SPEC CFP2006 floating-point suite and analyzes
+//! every loop above 10% of execution cycles. SPEC sources cannot ship
+//! here, so each benchmark is represented by a small Kern program whose hot
+//! loop reproduces that benchmark's *row signature* in Table 1 — the
+//! combination of compiler vectorization success (Percent Packed), inherent
+//! concurrency, and unit- vs non-unit-stride potential the paper reports:
+//!
+//! | stand-in | pattern | expected signature |
+//! |---|---|---|
+//! | `spec_410_bwaves` | mid-dimension indexing + `mod` wraparound | low packed, unit & non-unit potential |
+//! | `spec_433_milc` | array-of-structs complex mat-vec | 0 packed, high non-unit potential |
+//! | `spec_434_zeusmp` | 3-D advection stencil, two loops (one wrapped) | partial packed, high unit potential |
+//! | `spec_435_gromacs` | indirection through a neighbor list | ~0 packed, concurrency present |
+//! | `spec_436_cactusadm` | leapfrog update on separate arrays | ~100 packed, huge concurrency |
+//! | `spec_437_leslie3d` | flux differences | ~100 packed |
+//! | `spec_444_namd` | interactions through nested calls | 0 packed, high hidden potential |
+//! | `spec_447_dealii` | guarded accumulation | 0 packed (control flow) |
+//! | `spec_450_soplex` | sparse scatter/gather | 0 packed |
+//! | `spec_453_povray` | data-dependent worklist | 0 packed, little potential |
+//! | `spec_454_calculix` | rank-1 frontal update | high packed |
+//! | `spec_459_gemsfdtd` | FDTD field update | ~100 packed |
+//! | `spec_465_tonto` | intrinsic-heavy integral loop | high packed |
+//! | `spec_470_lbm` | stream-collide sweep | ~100 packed, huge concurrency |
+//! | `spec_481_wrf` | coefficient stencil sweep | high packed |
+//! | `spec_482_sphinx3` | gaussian-mixture reductions | packed via reductions > analysis vec ops |
+
+use crate::{Group, Kernel, Variant};
+
+const RND: &str = r#"
+double rnd(int k) {
+    int h = (k * 1103515245 + 12345) % 100000;
+    if (h < 0) { h = -h; }
+    return (double)h * 0.00001;
+}
+"#;
+
+fn make(name: &'static str, source: String, outputs: &'static [&'static str]) -> Kernel {
+    Kernel {
+        name,
+        group: Group::Spec,
+        variant: Variant::Sole,
+        source,
+        outputs,
+    }
+}
+
+/// All SPEC stand-ins.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        spec_410_bwaves(),
+        spec_433_milc(),
+        spec_434_zeusmp(),
+        spec_435_gromacs(),
+        spec_436_cactusadm(),
+        spec_437_leslie3d(),
+        spec_444_namd(),
+        spec_447_dealii(),
+        spec_450_soplex(),
+        spec_453_povray(),
+        spec_454_calculix(),
+        spec_459_gemsfdtd(),
+        spec_465_tonto(),
+        spec_470_lbm(),
+        spec_481_wrf(),
+        spec_482_sphinx3(),
+    ]
+}
+
+/// 410.bwaves: the study kernel doubles as the Table 1 stand-in.
+pub fn spec_410_bwaves() -> Kernel {
+    let mut k = crate::studies::bwaves_original();
+    k.name = "spec_410_bwaves";
+    k.group = Group::Spec;
+    k.variant = Variant::Sole;
+    k
+}
+
+/// 433.milc: the study kernel doubles as the Table 1 stand-in.
+pub fn spec_433_milc() -> Kernel {
+    let mut k = crate::studies::milc_original();
+    k.name = "spec_433_milc";
+    k.group = Group::Spec;
+    k.variant = Variant::Sole;
+    k
+}
+
+/// 435.gromacs: the study kernel doubles as the Table 1 stand-in.
+pub fn spec_435_gromacs() -> Kernel {
+    let mut k = crate::studies::gromacs_original();
+    k.name = "spec_435_gromacs";
+    k.group = Group::Spec;
+    k.variant = Variant::Sole;
+    k
+}
+
+/// 434.zeusmp `advx3`-style advection: one clean sweep (vectorizable) and
+/// one wraparound sweep (`mod` neighbor, not vectorizable) — partial packed.
+pub fn spec_434_zeusmp() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 20;
+double v[N][N][N];
+double dv[N][N][N];
+{RND}
+void init() {{
+    for (int k = 0; k < N; k++)
+        for (int j = 0; j < N; j++)
+            for (int i = 0; i < N; i++)
+                v[k][j][i] = rnd((k * N + j) * N + i);
+}}
+void kernel() {{
+    for (int k = 1; k < N - 1; k++)
+        for (int j = 1; j < N - 1; j++)
+            for (int i = 1; i < N - 1; i++)
+                dv[k][j][i] = 0.5 * v[k][j][i] +
+                              0.2 * (v[k][j][i-1] + v[k][j][i+1]) +
+                              0.05 * (v[k][j-1][i] + v[k+1][j][i]);
+    for (int k = 0; k < N; k++)
+        for (int j = 0; j < N; j++)
+            for (int i = 0; i < N; i++) {{
+                int ip = (i + 1) % N;
+                dv[k][j][i] = dv[k][j][i] + 0.1 * v[k][j][ip];
+            }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_434_zeusmp", source, &["dv"])
+}
+
+/// 436.cactusADM StaggeredLeapfrog: field update from distinct arrays —
+/// fully vectorized by the compiler and fully parallel.
+pub fn spec_436_cactusadm() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 1000;
+double adm_old[N];
+double adm_now[N];
+double adm_new[N];
+double dt = 0.01;
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        adm_old[i] = rnd(i);
+        adm_now[i] = rnd(i + 3000);
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < N; i++)
+        adm_new[i] = adm_old[i] + dt * (adm_now[i] * 2.0 - adm_old[i] * 0.5);
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_436_cactusadm", source, &["adm_new"])
+}
+
+/// 437.leslie3d `tml.f`-style flux differences.
+pub fn spec_437_leslie3d() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 600;
+double q[N];
+double flux[N];
+double resid[N];
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++) {{ q[i] = rnd(i); }}
+}}
+void kernel() {{
+    for (int i = 0; i < N - 1; i++)
+        flux[i] = 0.5 * (q[i + 1] + q[i]) - 0.125 * (q[i + 1] - q[i]);
+    for (int i = 1; i < N - 1; i++)
+        resid[i] = flux[i] - flux[i - 1];
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_437_leslie3d", source, &["resid"])
+}
+
+/// 444.namd: pair interactions computed through nested function calls (the
+/// paper notes the macro-generated loops are opaque and unvectorized, yet
+/// the dynamic analysis shows high potential).
+pub fn spec_444_namd() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 128;
+double px[N];
+double py[N];
+double f[N];
+{RND}
+double sq(double v) {{ return v * v; }}
+double interact(double r2) {{
+    double inv = 1.0 / (r2 + 1.0);
+    return inv * inv - 0.5 * inv;
+}}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        px[i] = rnd(i);
+        py[i] = rnd(i + 777);
+        f[i] = 0.0;
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < N; i++) {{
+        double r2 = sq(px[i]) + sq(py[i]);
+        f[i] = f[i] + interact(r2);
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_444_namd", source, &["f"])
+}
+
+/// 447.dealII: guarded accumulation (data-dependent branch in the body).
+pub fn spec_447_dealii() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 256;
+double w[N];
+double cell[N];
+double out[N];
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        w[i] = rnd(i) - 0.5;
+        cell[i] = rnd(i + 2000);
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < N; i++) {{
+        if (w[i] > 0.0) {{
+            out[i] = cell[i] * w[i] + 1.0;
+        }} else {{
+            out[i] = cell[i] * 0.25;
+        }}
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_447_dealii", source, &["out"])
+}
+
+/// 450.soplex: sparse vector scatter (indirection defeats the compiler).
+pub fn spec_450_soplex() -> Kernel {
+    let source = format!(
+        r#"
+const int NNZ = 192;
+const int DIM = 64;
+int idx[NNZ];
+double val[NNZ];
+double vec[DIM];
+double out[DIM];
+{RND}
+void init() {{
+    for (int i = 0; i < NNZ; i++) {{
+        idx[i] = (i * 29) % DIM;
+        val[i] = rnd(i) - 0.5;
+    }}
+    for (int i = 0; i < DIM; i++) {{ vec[i] = rnd(i + 900); }}
+}}
+void kernel() {{
+    for (int i = 0; i < NNZ; i++) {{
+        out[idx[i]] = out[idx[i]] + val[i] * vec[idx[i]];
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_450_soplex", source, &["out"])
+}
+
+/// 453.povray `bbox`-style worklist: a priority-queue-driven traversal with
+/// heavily data-dependent control flow (the paper's "limitations" case).
+pub fn spec_453_povray() -> Kernel {
+    let source = format!(
+        r#"
+const int NODES = 64;
+double bound[NODES];
+int left[NODES];
+int right[NODES];
+int queue[256];
+double hit = 0.0;
+{RND}
+void init() {{
+    for (int i = 0; i < NODES; i++) {{
+        bound[i] = rnd(i);
+        int l = 2 * i + 1;
+        int r = 2 * i + 2;
+        if (l >= NODES) {{ l = -1; }}
+        if (r >= NODES) {{ r = -1; }}
+        left[i] = l;
+        right[i] = r;
+    }}
+}}
+void kernel() {{
+    int head = 0;
+    int tail = 0;
+    queue[tail] = 0;
+    tail = tail + 1;
+    double ray = 0.37;
+    double acc = 0.0;
+    while (head < tail) {{
+        int node = queue[head];
+        head = head + 1;
+        double d = bound[node] - ray;
+        double d2 = d * d;
+        if (d2 < 0.2) {{
+            acc = acc + d2 * 0.5;
+            if (left[node] >= 0 && tail < 255) {{
+                queue[tail] = left[node];
+                tail = tail + 1;
+            }}
+            if (right[node] >= 0 && tail < 255) {{
+                queue[tail] = right[node];
+                tail = tail + 1;
+            }}
+        }}
+    }}
+    hit = acc;
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_453_povray", source, &["hit"])
+}
+
+/// 454.calculix frontal-matrix rank-1 update.
+pub fn spec_454_calculix() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 32;
+double a[N][N];
+double lcol[N];
+double urow[N];
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        lcol[i] = rnd(i) - 0.5;
+        urow[i] = rnd(i + 111) - 0.5;
+        for (int j = 0; j < N; j++) {{ a[i][j] = rnd(i * N + j); }}
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < N; i++) {{
+        double li = lcol[i];
+        for (int j = 0; j < N; j++) {{
+            a[i][j] = a[i][j] - li * urow[j];
+        }}
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_454_calculix", source, &["a"])
+}
+
+/// 459.GemsFDTD `update.F90`-style field update.
+pub fn spec_459_gemsfdtd() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 400;
+double hfield[N];
+double efield[N];
+double cconst = 0.35;
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        hfield[i] = rnd(i);
+        efield[i] = rnd(i + 1234);
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < N - 1; i++)
+        hfield[i] = hfield[i] + cconst * (efield[i + 1] - efield[i]);
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_459_gemsfdtd", source, &["hfield"])
+}
+
+/// 465.tonto: intrinsic-heavy integral evaluation (exp/sqrt), still
+/// unit-stride and vectorizable with a vector math library.
+pub fn spec_465_tonto() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 160;
+double alpha[N];
+double dist[N];
+double integral[N];
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++) {{
+        alpha[i] = rnd(i) + 0.1;
+        dist[i] = rnd(i + 555);
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < N; i++) {{
+        double a = alpha[i];
+        double r = dist[i];
+        integral[i] = exp(0.0 - a * r * r) * sqrt(a) * 1.128379167;
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_465_tonto", source, &["integral"])
+}
+
+/// 470.lbm `lbm.c:186`-style stream-and-collide sweep: one giant loop with
+/// nearly all the program's cycles, fully packed.
+pub fn spec_470_lbm() -> Kernel {
+    let source = format!(
+        r#"
+const int CELLS = 600;
+double src[CELLS];
+double dst[CELLS];
+double feq[CELLS];
+double omega = 1.85;
+{RND}
+void init() {{
+    for (int i = 0; i < CELLS; i++) {{
+        src[i] = rnd(i);
+        feq[i] = rnd(i + 8080);
+    }}
+}}
+void kernel() {{
+    for (int i = 0; i < CELLS; i++)
+        dst[i] = src[i] - omega * (src[i] - feq[i]);
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_470_lbm", source, &["dst"])
+}
+
+/// 481.wrf `solve_em`-style coefficient stencil sweep.
+pub fn spec_481_wrf() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 40;
+double u[N][N];
+double tend[N][N];
+double c1 = 0.45;
+double c2 = 0.275;
+{RND}
+void init() {{
+    for (int j = 0; j < N; j++)
+        for (int i = 0; i < N; i++)
+            u[j][i] = rnd(j * N + i);
+}}
+void kernel() {{
+    for (int j = 1; j < N - 1; j++)
+        for (int i = 1; i < N - 1; i++)
+            tend[j][i] = c1 * u[j][i] + c2 * (u[j][i+1] + u[j][i-1]) -
+                         0.1 * (u[j+1][i] - u[j-1][i]);
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_481_wrf", source, &["tend"])
+}
+
+/// 482.sphinx3 gaussian-mixture scoring: dot-product reductions. icc
+/// vectorizes the reduction, while the base dynamic analysis treats the
+/// accumulation chain as serial — the case where Percent Packed exceeds
+/// the analysis' vectorizable ops (paper §4.1).
+pub fn spec_482_sphinx3() -> Kernel {
+    let source = format!(
+        r#"
+const int MIX = 8;
+const int DIM = 32;
+double feat[DIM];
+double mean[MIX][DIM];
+double varr[MIX][DIM];
+double score[MIX];
+{RND}
+void init() {{
+    for (int d = 0; d < DIM; d++) {{ feat[d] = rnd(d); }}
+    for (int m = 0; m < MIX; m++)
+        for (int d = 0; d < DIM; d++) {{
+            mean[m][d] = rnd(m * DIM + d + 100);
+            varr[m][d] = rnd(m * DIM + d + 900) + 0.5;
+        }}
+}}
+void kernel() {{
+    for (int m = 0; m < MIX; m++) {{
+        double acc = 0.0;
+        for (int d = 0; d < DIM; d++) {{
+            double diff = feat[d] - mean[m][d];
+            acc += diff * diff * varr[m][d];
+        }}
+        score[m] = acc;
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    make("spec_482_sphinx3", source, &["score"])
+}

@@ -1,0 +1,636 @@
+//! The paper's case-study kernels (§4.4, Tables 2 and 4), each as an
+//! *original* and a *transformed* Kern program computing identical results.
+//!
+//! | kernel | original obstacle | paper's transformation |
+//! |---|---|---|
+//! | `gauss_seidel` | loop-carried deps in both loops | split the 9-point sum into a fully-parallel 8-add loop + a short recurrence loop (Listing 5) |
+//! | `pde_solver` | data-dependent boundary `if` | hoist the boundary test to block level; interior blocks get a branch-free loop (Listing 6) |
+//! | `bwaves` | stride-25 layout + `mod` wraparound | move `i` to the fastest-varying dimension and peel the last iteration (Listing 7) |
+//! | `milc` | array-of-structs complex arithmetic | convert the lattice of matrices to a matrix of lattices, SoA (Listing 8) |
+//! | `gromacs` | indirection through `jjnr` | strip-mine by 4 and distribute loads/compute/stores (Listing 9) |
+
+use crate::{Group, Kernel, Variant};
+
+/// Shared pseudo-random initializer (deterministic, integer LCG mapped to
+/// [0, 1)).
+const RND: &str = r#"
+double rnd(int k) {
+    int h = (k * 1103515245 + 12345) % 100000;
+    if (h < 0) { h = -h; }
+    return (double)h * 0.00001;
+}
+"#;
+
+/// The case-study kernels in both variants.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        gauss_seidel_original(),
+        gauss_seidel_transformed(),
+        pde_solver_original(),
+        pde_solver_transformed(),
+        bwaves_original(),
+        bwaves_transformed(),
+        milc_original(),
+        milc_transformed(),
+        gromacs_original(),
+        gromacs_transformed(),
+    ]
+}
+
+/// 9-point Gauss-Seidel stencil, original (paper Listing 5 top).
+pub fn gauss_seidel_original() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 48;
+const int T = 3;
+double A[N][N];
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+            A[i][j] = rnd(i * N + j);
+}}
+void kernel() {{
+    double cnst = 1.0 / 9.0;
+    for (int t = 0; t < T; t++)
+        for (int i = 1; i < N - 1; i++)
+            for (int j = 1; j < N - 1; j++)
+                A[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1] +
+                           A[i][j-1] + A[i][j] + A[i][j+1] +
+                           A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) * cnst;
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "gauss_seidel",
+        group: Group::Study,
+        variant: Variant::Original,
+        source,
+        outputs: &["A"],
+    }
+}
+
+/// Gauss-Seidel with the paper's loop split (Listing 5 bottom): the first
+/// `j` loop (eight adds into `temp`) carries no dependence and vectorizes;
+/// only the short `A[i][j-1] + temp[j]` recurrence stays scalar.
+pub fn gauss_seidel_transformed() -> Kernel {
+    let source = format!(
+        r#"
+const int N = 48;
+const int T = 3;
+double A[N][N];
+double temp[N];
+{RND}
+void init() {{
+    for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+            A[i][j] = rnd(i * N + j);
+}}
+void kernel() {{
+    double cnst = 1.0 / 9.0;
+    for (int t = 0; t < T; t++) {{
+        for (int i = 1; i < N - 1; i++) {{
+            for (int j = 1; j < N - 1; j++)
+                temp[j] = A[i-1][j-1] + A[i-1][j] + A[i-1][j+1] +
+                          A[i][j] + A[i][j+1] +
+                          A[i+1][j-1] + A[i+1][j] + A[i+1][j+1];
+            for (int j = 1; j < N - 1; j++)
+                A[i][j] = cnst * (A[i][j-1] + temp[j]);
+        }}
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "gauss_seidel",
+        group: Group::Study,
+        variant: Variant::Transformed,
+        source,
+        outputs: &["A"],
+    }
+}
+
+const PDE_COMMON: &str = r#"
+const int B = 16;
+const int G = 4;
+const int M = 64;
+double x[M][M];
+double f[M][M];
+double hydhx = 1.0;
+double hxdhy = 1.0;
+double sc = 0.1;
+"#;
+
+/// PETSc ex5 solid-fuel-ignition block kernel, original (Listing 6 top):
+/// the boundary test inside the innermost loop defeats vectorization.
+pub fn pde_solver_original() -> Kernel {
+    let source = format!(
+        r#"
+{PDE_COMMON}
+{RND}
+void init() {{
+    for (int j = 0; j < M; j++)
+        for (int i = 0; i < M; i++)
+            x[j][i] = rnd(j * M + i);
+}}
+void block_kernel(int xs, int ys, int xm, int ym) {{
+    for (int j = ys; j < ys + ym; j++) {{
+        for (int i = xs; i < xs + xm; i++) {{
+            if (i == 0 || j == 0 || i == M - 1 || j == M - 1) {{
+                f[j][i] = x[j][i];
+            }} else {{
+                double u = x[j][i];
+                double uxx = (2.0 * u - x[j][i-1] - x[j][i+1]) * hydhx;
+                double uyy = (2.0 * u - x[j-1][i] - x[j+1][i]) * hxdhy;
+                f[j][i] = uxx + uyy - sc * exp(u);
+            }}
+        }}
+    }}
+}}
+void kernel() {{
+    for (int by = 0; by < G; by++)
+        for (int bx = 0; bx < G; bx++)
+            block_kernel(bx * B, by * B, B, B);
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "pde_solver",
+        group: Group::Study,
+        variant: Variant::Original,
+        source,
+        outputs: &["f"],
+    }
+}
+
+/// PDE solver with the boundary `if` hoisted to block level (Listing 6
+/// bottom): interior blocks run a branch-free, vectorizable loop.
+pub fn pde_solver_transformed() -> Kernel {
+    let source = format!(
+        r#"
+{PDE_COMMON}
+{RND}
+void init() {{
+    for (int j = 0; j < M; j++)
+        for (int i = 0; i < M; i++)
+            x[j][i] = rnd(j * M + i);
+}}
+void block_boundary(int xs, int ys, int xm, int ym) {{
+    for (int j = ys; j < ys + ym; j++) {{
+        for (int i = xs; i < xs + xm; i++) {{
+            if (i == 0 || j == 0 || i == M - 1 || j == M - 1) {{
+                f[j][i] = x[j][i];
+            }} else {{
+                double u = x[j][i];
+                double uxx = (2.0 * u - x[j][i-1] - x[j][i+1]) * hydhx;
+                double uyy = (2.0 * u - x[j-1][i] - x[j+1][i]) * hxdhy;
+                f[j][i] = uxx + uyy - sc * exp(u);
+            }}
+        }}
+    }}
+}}
+void block_interior(int xs, int ys, int xm, int ym) {{
+    for (int j = ys; j < ys + ym; j++) {{
+        for (int i = xs; i < xs + xm; i++) {{
+            double u = x[j][i];
+            double uxx = (2.0 * u - x[j][i-1] - x[j][i+1]) * hydhx;
+            double uyy = (2.0 * u - x[j-1][i] - x[j+1][i]) * hxdhy;
+            f[j][i] = uxx + uyy - sc * exp(u);
+        }}
+    }}
+}}
+void kernel() {{
+    for (int by = 0; by < G; by++) {{
+        for (int bx = 0; bx < G; bx++) {{
+            int xs = bx * B;
+            int ys = by * B;
+            if (xs == 0 || ys == 0 || xs + B == M || ys + B == M) {{
+                block_boundary(xs, ys, B, B);
+            }} else {{
+                block_interior(xs, ys, B, B);
+            }}
+        }}
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "pde_solver",
+        group: Group::Study,
+        variant: Variant::Transformed,
+        source,
+        outputs: &["f"],
+    }
+}
+
+const BWAVES_SIZES: &str = r#"
+const int NX = 8;
+const int NY = 5;
+const int NZ = 5;
+"#;
+
+/// 410.bwaves `jacobi_lam`-style loop, original (Listing 7 top): the `i`
+/// index addresses a middle array dimension (stride 25 elements) and the
+/// wraparound neighbor uses `mod`.
+pub fn bwaves_original() -> Kernel {
+    let source = format!(
+        r#"
+{BWAVES_SIZES}
+double je[NZ][NY][NX][4][4];
+double q[NZ][NY][NX][4];
+double out_ros = 0.0;
+double canon[NZ][NY][NX][4][4];
+{RND}
+void init() {{
+    for (int k = 0; k < NZ; k++)
+        for (int j = 0; j < NY; j++)
+            for (int i = 0; i < NX; i++)
+                for (int m = 0; m < 4; m++)
+                    q[k][j][i][m] = rnd(((k * NY + j) * NX + i) * 4 + m);
+}}
+void kernel() {{
+    double ros_acc = 0.0;
+    for (int k = 0; k < NZ; k++) {{
+        int kp1 = (k + 1) % NZ;
+        for (int j = 0; j < NY; j++) {{
+            int jp1 = (j + 1) % NY;
+            for (int i = 0; i < NX; i++) {{
+                int ip1 = (i + 1) % NX;
+                double ros = q[kp1][jp1][ip1][0];
+                je[k][j][i][0][0] = ros * 1.1 + q[k][j][i][0];
+                je[k][j][i][0][1] = ros * 2.2 - q[k][j][i][1];
+                je[k][j][i][1][0] = ros * 3.3 + q[k][j][i][2];
+                je[k][j][i][1][1] = ros * 4.4 - q[k][j][i][3];
+                ros_acc += ros;
+            }}
+        }}
+    }}
+    out_ros = ros_acc;
+}}
+void finish() {{
+    for (int k = 0; k < NZ; k++)
+        for (int j = 0; j < NY; j++)
+            for (int i = 0; i < NX; i++)
+                for (int m1 = 0; m1 < 4; m1++)
+                    for (int m2 = 0; m2 < 4; m2++)
+                        canon[k][j][i][m1][m2] = je[k][j][i][m1][m2];
+}}
+void main() {{ init(); kernel(); finish(); }}
+"#
+    );
+    Kernel {
+        name: "bwaves",
+        group: Group::Study,
+        variant: Variant::Original,
+        source,
+        outputs: &["canon", "out_ros"],
+    }
+}
+
+/// bwaves after the paper's data-layout transformation (Listing 7 bottom):
+/// `i` becomes the fastest dimension of `je` and `q`, and the last
+/// iteration is peeled so `ip1 = i + 1` is affine.
+pub fn bwaves_transformed() -> Kernel {
+    let source = format!(
+        r#"
+{BWAVES_SIZES}
+double je[NZ][NY][4][4][NX];
+double q[NZ][NY][4][NX];
+double out_ros = 0.0;
+double canon[NZ][NY][NX][4][4];
+{RND}
+void init() {{
+    for (int k = 0; k < NZ; k++)
+        for (int j = 0; j < NY; j++)
+            for (int i = 0; i < NX; i++)
+                for (int m = 0; m < 4; m++)
+                    q[k][j][m][i] = rnd(((k * NY + j) * NX + i) * 4 + m);
+}}
+void kernel() {{
+    double ros_acc = 0.0;
+    for (int k = 0; k < NZ; k++) {{
+        int kp1 = (k + 1) % NZ;
+        for (int j = 0; j < NY; j++) {{
+            int jp1 = (j + 1) % NY;
+            for (int i = 0; i < NX - 1; i++) {{
+                int ip1 = i + 1;
+                double ros = q[kp1][jp1][0][ip1];
+                je[k][j][0][0][i] = ros * 1.1 + q[k][j][0][i];
+                je[k][j][0][1][i] = ros * 2.2 - q[k][j][1][i];
+                je[k][j][1][0][i] = ros * 3.3 + q[k][j][2][i];
+                je[k][j][1][1][i] = ros * 4.4 - q[k][j][3][i];
+                ros_acc += ros;
+            }}
+            int i = NX - 1;
+            double ros = q[kp1][jp1][0][0];
+            je[k][j][0][0][i] = ros * 1.1 + q[k][j][0][i];
+            je[k][j][0][1][i] = ros * 2.2 - q[k][j][1][i];
+            je[k][j][1][0][i] = ros * 3.3 + q[k][j][2][i];
+            je[k][j][1][1][i] = ros * 4.4 - q[k][j][3][i];
+            ros_acc += ros;
+        }}
+    }}
+    out_ros = ros_acc;
+}}
+void finish() {{
+    for (int k = 0; k < NZ; k++)
+        for (int j = 0; j < NY; j++)
+            for (int i = 0; i < NX; i++)
+                for (int m1 = 0; m1 < 4; m1++)
+                    for (int m2 = 0; m2 < 4; m2++)
+                        canon[k][j][i][m1][m2] = je[k][j][m1][m2][i];
+}}
+void main() {{ init(); kernel(); finish(); }}
+"#
+    );
+    Kernel {
+        name: "bwaves",
+        group: Group::Study,
+        variant: Variant::Transformed,
+        source,
+        outputs: &["canon", "out_ros"],
+    }
+}
+
+const MILC_SIZES: &str = "const int SITES = 48;\n";
+
+/// 433.milc su3 matrix–vector product over a lattice, original AoS layout
+/// (Listing 8 top): complex real/imaginary interleaving gives stride-2
+/// (16-byte) access.
+pub fn milc_original() -> Kernel {
+    let source = format!(
+        r#"
+struct complex {{ double r; double i; }};
+struct su3_vector {{ complex c[3]; }};
+struct su3_matrix {{ complex e[3][3]; }};
+{MILC_SIZES}
+su3_matrix lattice[SITES];
+su3_vector vec[SITES];
+su3_vector out_vec[SITES];
+double canon_r[3][SITES];
+double canon_i[3][SITES];
+{RND}
+void init() {{
+    for (int s = 0; s < SITES; s++) {{
+        for (int i = 0; i < 3; i++) {{
+            vec[s].c[i].r = rnd(s * 6 + i);
+            vec[s].c[i].i = rnd(s * 6 + 3 + i);
+            for (int j = 0; j < 3; j++) {{
+                lattice[s].e[i][j].r = rnd(s * 18 + i * 3 + j);
+                lattice[s].e[i][j].i = rnd(s * 18 + 9 + i * 3 + j);
+            }}
+        }}
+    }}
+}}
+void kernel() {{
+    for (int s = 0; s < SITES; s++) {{
+        for (int i = 0; i < 3; i++) {{
+            double xr = 0.0;
+            double xi = 0.0;
+            for (int j = 0; j < 3; j++) {{
+                double yr = lattice[s].e[i][j].r * vec[s].c[j].r -
+                            lattice[s].e[i][j].i * vec[s].c[j].i;
+                double yi = lattice[s].e[i][j].r * vec[s].c[j].i +
+                            lattice[s].e[i][j].i * vec[s].c[j].r;
+                xr += yr;
+                xi += yi;
+            }}
+            out_vec[s].c[i].r = xr;
+            out_vec[s].c[i].i = xi;
+        }}
+    }}
+}}
+void finish() {{
+    for (int i = 0; i < 3; i++) {{
+        for (int s = 0; s < SITES; s++) {{
+            canon_r[i][s] = out_vec[s].c[i].r;
+            canon_i[i][s] = out_vec[s].c[i].i;
+        }}
+    }}
+}}
+void main() {{ init(); kernel(); finish(); }}
+"#
+    );
+    Kernel {
+        name: "milc",
+        group: Group::Study,
+        variant: Variant::Original,
+        source,
+        outputs: &["canon_r", "canon_i"],
+    }
+}
+
+/// milc after AoS→SoA (Listing 8 bottom): the lattice of matrices becomes a
+/// matrix of lattices; the site loop is innermost and unit-stride.
+pub fn milc_transformed() -> Kernel {
+    let source = format!(
+        r#"
+{MILC_SIZES}
+double lat_r[3][3][SITES];
+double lat_i[3][3][SITES];
+double vec_r[3][SITES];
+double vec_i[3][SITES];
+double out_r[3][SITES];
+double out_i[3][SITES];
+double canon_r[3][SITES];
+double canon_i[3][SITES];
+{RND}
+void init() {{
+    for (int s = 0; s < SITES; s++) {{
+        for (int i = 0; i < 3; i++) {{
+            vec_r[i][s] = rnd(s * 6 + i);
+            vec_i[i][s] = rnd(s * 6 + 3 + i);
+            for (int j = 0; j < 3; j++) {{
+                lat_r[i][j][s] = rnd(s * 18 + i * 3 + j);
+                lat_i[i][j][s] = rnd(s * 18 + 9 + i * 3 + j);
+            }}
+        }}
+    }}
+    for (int i = 0; i < 3; i++)
+        for (int s = 0; s < SITES; s++) {{
+            out_r[i][s] = 0.0;
+            out_i[i][s] = 0.0;
+        }}
+}}
+void kernel() {{
+    for (int i = 0; i < 3; i++) {{
+        for (int j = 0; j < 3; j++) {{
+            for (int s = 0; s < SITES; s++) {{
+                double x_r = lat_r[i][j][s] * vec_r[j][s] -
+                             lat_i[i][j][s] * vec_i[j][s];
+                double x_i = lat_r[i][j][s] * vec_i[j][s] +
+                             lat_i[i][j][s] * vec_r[j][s];
+                out_r[i][s] += x_r;
+                out_i[i][s] += x_i;
+            }}
+        }}
+    }}
+}}
+void finish() {{
+    for (int i = 0; i < 3; i++) {{
+        for (int s = 0; s < SITES; s++) {{
+            canon_r[i][s] = out_r[i][s];
+            canon_i[i][s] = out_i[i][s];
+        }}
+    }}
+}}
+void main() {{ init(); kernel(); finish(); }}
+"#
+    );
+    Kernel {
+        name: "milc",
+        group: Group::Study,
+        variant: Variant::Transformed,
+        source,
+        outputs: &["canon_r", "canon_i"],
+    }
+}
+
+const GROMACS_SIZES: &str = "const int NJ = 64;\n";
+
+/// 435.gromacs `innerf.f`-style indirection loop, original (Listing 9 top):
+/// `jjnr` scatters the `pos`/`faction` accesses, so icc must assume the
+/// iterations conflict.
+pub fn gromacs_original() -> Kernel {
+    let source = format!(
+        r#"
+{GROMACS_SIZES}
+int jjnr[NJ];
+double pos[192];
+double faction[192];
+{RND}
+void init() {{
+    for (int k = 0; k < NJ; k++) {{
+        jjnr[k] = (k * 37) % NJ;
+    }}
+    for (int k = 0; k < 192; k++) {{
+        pos[k] = rnd(k);
+        faction[k] = rnd(k + 500);
+    }}
+}}
+void kernel() {{
+    for (int k = 0; k < NJ; k++) {{
+        int jnr = jjnr[k];
+        int j3 = 3 * jnr;
+        double jx1 = pos[j3];
+        double jy1 = pos[j3 + 1];
+        double jz1 = pos[j3 + 2];
+        double rsq = jx1 * jx1 + jy1 * jy1 + jz1 * jz1;
+        double rinv = 1.0 / (rsq + 0.25);
+        double rinvsq = rinv * rinv;
+        double vnb6 = rinvsq * rinvsq * rinvsq;
+        double vnb12 = vnb6 * vnb6;
+        double rinvsqrt = 1.0 / sqrt(rsq + 0.25);
+        double krsq = 0.3 * rsq;
+        double vcoul = 0.8 * rinvsqrt + krsq * rinvsq;
+        double fscoul = (0.8 * rinvsqrt + 2.0 * krsq - vcoul) * rinvsq;
+        double fs = (12.0 * vnb12 - 6.0 * vnb6) * rinvsq + 0.75 * rinv + fscoul;
+        double tx11 = fs * jx1;
+        double ty11 = fs * jy1;
+        double tz11 = fs * jz1;
+        double tx21 = jx1 * jy1 * 0.125;
+        double ty21 = jy1 * jz1 * 0.125;
+        double tz21 = jz1 * jx1 * 0.125;
+        faction[j3] = faction[j3] - tx11 - tx21;
+        faction[j3 + 1] = faction[j3 + 1] - ty11 - ty21;
+        faction[j3 + 2] = faction[j3 + 2] - tz11 - tz21;
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "gromacs",
+        group: Group::Study,
+        variant: Variant::Original,
+        source,
+        outputs: &["faction"],
+    }
+}
+
+/// gromacs after the paper's strip-mine + loop distribution (Listing 9
+/// bottom): gathers, a vectorizable middle compute loop, then scatters.
+pub fn gromacs_transformed() -> Kernel {
+    let source = format!(
+        r#"
+{GROMACS_SIZES}
+int jjnr[NJ];
+double pos[192];
+double faction[192];
+{RND}
+void init() {{
+    for (int k = 0; k < NJ; k++) {{
+        jjnr[k] = (k * 37) % NJ;
+    }}
+    for (int k = 0; k < 192; k++) {{
+        pos[k] = rnd(k);
+        faction[k] = rnd(k + 500);
+    }}
+}}
+void kernel() {{
+    int vect_j3[4];
+    double vect_jx1[4];
+    double vect_jy1[4];
+    double vect_jz1[4];
+    double vect_fx[4];
+    double vect_fy[4];
+    double vect_fz[4];
+    for (int k = 0; k < NJ; k += 4) {{
+        for (int kv = 0; kv < 4; kv++) {{
+            int jnr = jjnr[k + kv];
+            int j3 = 3 * jnr;
+            vect_j3[kv] = j3;
+            vect_jx1[kv] = pos[j3];
+            vect_jy1[kv] = pos[j3 + 1];
+            vect_jz1[kv] = pos[j3 + 2];
+            vect_fx[kv] = faction[j3];
+            vect_fy[kv] = faction[j3 + 1];
+            vect_fz[kv] = faction[j3 + 2];
+        }}
+        for (int kv = 0; kv < 4; kv++) {{
+            double jx1 = vect_jx1[kv];
+            double jy1 = vect_jy1[kv];
+            double jz1 = vect_jz1[kv];
+            double rsq = jx1 * jx1 + jy1 * jy1 + jz1 * jz1;
+            double rinv = 1.0 / (rsq + 0.25);
+            double rinvsq = rinv * rinv;
+            double vnb6 = rinvsq * rinvsq * rinvsq;
+            double vnb12 = vnb6 * vnb6;
+            double rinvsqrt = 1.0 / sqrt(rsq + 0.25);
+            double krsq = 0.3 * rsq;
+            double vcoul = 0.8 * rinvsqrt + krsq * rinvsq;
+            double fscoul = (0.8 * rinvsqrt + 2.0 * krsq - vcoul) * rinvsq;
+            double fs = (12.0 * vnb12 - 6.0 * vnb6) * rinvsq + 0.75 * rinv + fscoul;
+            double tx11 = fs * jx1;
+            double ty11 = fs * jy1;
+            double tz11 = fs * jz1;
+            double tx21 = jx1 * jy1 * 0.125;
+            double ty21 = jy1 * jz1 * 0.125;
+            double tz21 = jz1 * jx1 * 0.125;
+            vect_fx[kv] = vect_fx[kv] - tx11 - tx21;
+            vect_fy[kv] = vect_fy[kv] - ty11 - ty21;
+            vect_fz[kv] = vect_fz[kv] - tz11 - tz21;
+        }}
+        for (int kv = 0; kv < 4; kv++) {{
+            int j3 = vect_j3[kv];
+            faction[j3] = vect_fx[kv];
+            faction[j3 + 1] = vect_fy[kv];
+            faction[j3 + 2] = vect_fz[kv];
+        }}
+    }}
+}}
+void main() {{ init(); kernel(); }}
+"#
+    );
+    Kernel {
+        name: "gromacs",
+        group: Group::Study,
+        variant: Variant::Transformed,
+        source,
+        outputs: &["faction"],
+    }
+}

@@ -1,0 +1,472 @@
+//! UTDSP kernels in array and pointer variants (paper §4.3, Table 3).
+//!
+//! The UTDSP suite was written to evaluate DSP compilers and deliberately
+//! provides each kernel in two styles of identical functionality: explicit
+//! array subscripts and pointer walks (`*p++`). The paper's point is that
+//! the *dynamic* analysis is invariant to the style, while icc fails to
+//! vectorize much of the pointer-based code. Our model vectorizer shows the
+//! same asymmetry (pointer recurrences defeat its subscript analysis), and
+//! the integration tests check that both variants compute identical
+//! results and get near-identical analysis metrics.
+
+use crate::{Group, Kernel, Variant};
+
+const RND: &str = r#"
+double rnd(int k) {
+    int h = (k * 1103515245 + 12345) % 100000;
+    if (h < 0) { h = -h; }
+    return (double)h * 0.00001;
+}
+"#;
+
+/// The six UTDSP kernels, each in both variants.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        fir(Variant::Array),
+        fir(Variant::Pointer),
+        iir(Variant::Array),
+        iir(Variant::Pointer),
+        fft(Variant::Array),
+        fft(Variant::Pointer),
+        latnrm(Variant::Array),
+        latnrm(Variant::Pointer),
+        lmsfir(Variant::Array),
+        lmsfir(Variant::Pointer),
+        mult(Variant::Array),
+        mult(Variant::Pointer),
+    ]
+}
+
+fn make(name: &'static str, variant: Variant, source: String, outputs: &'static [&'static str]) -> Kernel {
+    Kernel {
+        name,
+        group: Group::Utdsp,
+        variant,
+        source,
+        outputs,
+    }
+}
+
+/// Finite impulse response filter.
+pub fn fir(variant: Variant) -> Kernel {
+    let decls = r#"
+const int NS = 128;
+const int NT = 16;
+double x[143];
+double c[NT];
+double y[NS];
+"#;
+    let init = r#"
+void init() {
+    for (int k = 0; k < 143; k++) { x[k] = rnd(k); }
+    for (int k = 0; k < NT; k++) { c[k] = rnd(k + 1000) - 0.5; }
+}
+"#;
+    let kernel = match variant {
+        Variant::Pointer => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double acc = 0.0;
+        double* cp = c;
+        double* xp = &x[n];
+        for (int k = 0; k < NT; k++) {
+            acc += *cp * *xp;
+            cp++;
+            xp++;
+        }
+        y[n] = acc;
+    }
+}
+"#
+        }
+        _ => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double acc = 0.0;
+        for (int k = 0; k < NT; k++) {
+            acc += c[k] * x[n + k];
+        }
+        y[n] = acc;
+    }
+}
+"#
+        }
+    };
+    let source = format!("{decls}{RND}{init}{kernel}void main() {{ init(); kernel(); }}\n");
+    make("fir", variant, source, &["y"])
+}
+
+/// Cascaded-biquad infinite impulse response filter (direct form II).
+pub fn iir(variant: Variant) -> Kernel {
+    let decls = r#"
+const int NS = 128;
+const int NB = 2;
+double x[NS];
+double y[NS];
+double coef[NB][5];
+double w[NB][2];
+"#;
+    let init = r#"
+void init() {
+    for (int k = 0; k < NS; k++) { x[k] = rnd(k); }
+    for (int b = 0; b < NB; b++) {
+        for (int k = 0; k < 5; k++) { coef[b][k] = rnd(b * 5 + k + 300) * 0.4 - 0.2; }
+        w[b][0] = 0.0;
+        w[b][1] = 0.0;
+    }
+}
+"#;
+    let kernel = match variant {
+        Variant::Pointer => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double s = x[n];
+        double* cf = &coef[0][0];
+        double* st = &w[0][0];
+        for (int b = 0; b < NB; b++) {
+            double w0 = *st;
+            double w1 = *(st + 1);
+            double wn = s - *cf * w0 - *(cf + 1) * w1;
+            s = wn * *(cf + 2) + w0 * *(cf + 3) + w1 * *(cf + 4);
+            *(st + 1) = w0;
+            *st = wn;
+            cf = cf + 5;
+            st = st + 2;
+        }
+        y[n] = s;
+    }
+}
+"#
+        }
+        _ => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double s = x[n];
+        for (int b = 0; b < NB; b++) {
+            double w0 = w[b][0];
+            double w1 = w[b][1];
+            double wn = s - coef[b][0] * w0 - coef[b][1] * w1;
+            s = wn * coef[b][2] + w0 * coef[b][3] + w1 * coef[b][4];
+            w[b][1] = w0;
+            w[b][0] = wn;
+        }
+        y[n] = s;
+    }
+}
+"#
+        }
+    };
+    let source = format!("{decls}{RND}{init}{kernel}void main() {{ init(); kernel(); }}\n");
+    make("iir", variant, source, &["y"])
+}
+
+/// Iterative radix-2 complex FFT with a final scaling pass.
+pub fn fft(variant: Variant) -> Kernel {
+    let decls = r#"
+const int FN = 64;
+double re[FN];
+double im[FN];
+double twr[32];
+double twi[32];
+"#;
+    let init = r#"
+void init() {
+    for (int k = 0; k < FN; k++) {
+        re[k] = rnd(k);
+        im[k] = rnd(k + 200) - 0.5;
+    }
+    double pi = 3.14159265358979323846;
+    for (int t = 0; t < 32; t++) {
+        double ang = 0.0 - 2.0 * pi * (double)t / (double)FN;
+        twr[t] = cos(ang);
+        twi[t] = sin(ang);
+    }
+}
+void bitrev() {
+    int j = 0;
+    for (int i = 0; i < FN - 1; i++) {
+        if (i < j) {
+            double tr = re[i]; re[i] = re[j]; re[j] = tr;
+            double ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+        int m = FN / 2;
+        while (m >= 1 && m <= j) {
+            j = j - m;
+            m = m / 2;
+        }
+        j = j + m;
+    }
+}
+"#;
+    let butterflies_array = r#"
+void kernel() {
+    bitrev();
+    int len = 2;
+    int half = 1;
+    int step = FN / 2;
+    while (len <= FN) {
+        for (int base = 0; base < FN; base += len) {
+            int tw = 0;
+            for (int off = 0; off < half; off++) {
+                int p = base + off;
+                int q = p + half;
+                double wr = twr[tw];
+                double wi = twi[tw];
+                double tr = re[q] * wr - im[q] * wi;
+                double ti = re[q] * wi + im[q] * wr;
+                re[q] = re[p] - tr;
+                im[q] = im[p] - ti;
+                re[p] = re[p] + tr;
+                im[p] = im[p] + ti;
+                tw += step;
+            }
+        }
+        len = len * 2;
+        half = half * 2;
+        step = step / 2;
+    }
+    double s = 1.0 / (double)FN;
+    for (int k = 0; k < FN; k++) {
+        re[k] = re[k] * s;
+        im[k] = im[k] * s;
+    }
+}
+"#;
+    let butterflies_pointer = r#"
+void kernel() {
+    bitrev();
+    int len = 2;
+    int half = 1;
+    int step = FN / 2;
+    while (len <= FN) {
+        for (int base = 0; base < FN; base += len) {
+            int tw = 0;
+            double* rp = &re[base];
+            double* ip = &im[base];
+            double* rq = &re[base + half];
+            double* iq = &im[base + half];
+            for (int off = 0; off < half; off++) {
+                double wr = twr[tw];
+                double wi = twi[tw];
+                double tr = *rq * wr - *iq * wi;
+                double ti = *rq * wi + *iq * wr;
+                *rq = *rp - tr;
+                *iq = *ip - ti;
+                *rp = *rp + tr;
+                *ip = *ip + ti;
+                tw += step;
+                rp++; ip++; rq++; iq++;
+            }
+        }
+        len = len * 2;
+        half = half * 2;
+        step = step / 2;
+    }
+    double s = 1.0 / (double)FN;
+    double* pr = re;
+    double* pi2 = im;
+    for (int k = 0; k < FN; k++) {
+        *pr = *pr * s;
+        *pi2 = *pi2 * s;
+        pr++;
+        pi2++;
+    }
+}
+"#;
+    let kernel = match variant {
+        Variant::Pointer => butterflies_pointer,
+        _ => butterflies_array,
+    };
+    let source = format!("{decls}{RND}{init}{kernel}void main() {{ init(); kernel(); }}\n");
+    make("fft", variant, source, &["re", "im"])
+}
+
+/// Normalized lattice filter.
+pub fn latnrm(variant: Variant) -> Kernel {
+    let decls = r#"
+const int NS = 128;
+const int ORDER = 8;
+double x[NS];
+double y[NS];
+double k1[ORDER];
+double k2[ORDER];
+double st[ORDER];
+"#;
+    let init = r#"
+void init() {
+    for (int k = 0; k < NS; k++) { x[k] = rnd(k); }
+    for (int s = 0; s < ORDER; s++) {
+        k1[s] = rnd(s + 700) * 0.5 - 0.25;
+        k2[s] = rnd(s + 900) * 0.5 - 0.25;
+        st[s] = 0.0;
+    }
+}
+"#;
+    let kernel = match variant {
+        Variant::Pointer => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double f = x[n];
+        double* p1 = k1;
+        double* p2 = k2;
+        double* pb = st;
+        for (int s = 0; s < ORDER; s++) {
+            double tmp = f - *p1 * *pb;
+            *pb = *pb + *p2 * tmp;
+            f = tmp;
+            p1++;
+            p2++;
+            pb++;
+        }
+        y[n] = f;
+    }
+}
+"#
+        }
+        _ => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double f = x[n];
+        for (int s = 0; s < ORDER; s++) {
+            double tmp = f - k1[s] * st[s];
+            st[s] = st[s] + k2[s] * tmp;
+            f = tmp;
+        }
+        y[n] = f;
+    }
+}
+"#
+        }
+    };
+    let source = format!("{decls}{RND}{init}{kernel}void main() {{ init(); kernel(); }}\n");
+    make("latnrm", variant, source, &["y"])
+}
+
+/// Least-mean-squares adaptive FIR filter.
+pub fn lmsfir(variant: Variant) -> Kernel {
+    let decls = r#"
+const int NS = 128;
+const int NT = 16;
+double x[143];
+double d[NS];
+double c[NT];
+double y[NS];
+double mu = 0.02;
+"#;
+    let init = r#"
+void init() {
+    for (int k = 0; k < 143; k++) { x[k] = rnd(k); }
+    for (int k = 0; k < NS; k++) { d[k] = rnd(k + 4000); }
+    for (int k = 0; k < NT; k++) { c[k] = 0.0; }
+}
+"#;
+    let kernel = match variant {
+        Variant::Pointer => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double acc = 0.0;
+        double* cp = c;
+        double* xp = &x[n];
+        for (int k = 0; k < NT; k++) {
+            acc += *cp * *xp;
+            cp++;
+            xp++;
+        }
+        y[n] = acc;
+        double e = (d[n] - acc) * mu;
+        cp = c;
+        xp = &x[n];
+        for (int k = 0; k < NT; k++) {
+            *cp = *cp + e * *xp;
+            cp++;
+            xp++;
+        }
+    }
+}
+"#
+        }
+        _ => {
+            r#"
+void kernel() {
+    for (int n = 0; n < NS; n++) {
+        double acc = 0.0;
+        for (int k = 0; k < NT; k++) {
+            acc += c[k] * x[n + k];
+        }
+        y[n] = acc;
+        double e = (d[n] - acc) * mu;
+        for (int k = 0; k < NT; k++) {
+            c[k] = c[k] + e * x[n + k];
+        }
+    }
+}
+"#
+        }
+    };
+    let source = format!("{decls}{RND}{init}{kernel}void main() {{ init(); kernel(); }}\n");
+    make("lmsfir", variant, source, &["y", "c"])
+}
+
+/// Dense matrix–matrix multiply (ikj order).
+pub fn mult(variant: Variant) -> Kernel {
+    let decls = r#"
+const int MM = 12;
+double a[MM][MM];
+double b[MM][MM];
+double cm[MM][MM];
+"#;
+    let init = r#"
+void init() {
+    for (int i = 0; i < MM; i++) {
+        for (int j = 0; j < MM; j++) {
+            a[i][j] = rnd(i * MM + j);
+            b[i][j] = rnd(i * MM + j + 5000) - 0.5;
+            cm[i][j] = 0.0;
+        }
+    }
+}
+"#;
+    let kernel = match variant {
+        Variant::Pointer => {
+            r#"
+void kernel() {
+    for (int i = 0; i < MM; i++) {
+        for (int k = 0; k < MM; k++) {
+            double aik = a[i][k];
+            double* bp = &b[k][0];
+            double* cp = &cm[i][0];
+            for (int j = 0; j < MM; j++) {
+                *cp = *cp + aik * *bp;
+                bp++;
+                cp++;
+            }
+        }
+    }
+}
+"#
+        }
+        _ => {
+            r#"
+void kernel() {
+    for (int i = 0; i < MM; i++) {
+        for (int k = 0; k < MM; k++) {
+            double aik = a[i][k];
+            for (int j = 0; j < MM; j++) {
+                cm[i][j] = cm[i][j] + aik * b[k][j];
+            }
+        }
+    }
+}
+"#
+        }
+    };
+    let source = format!("{decls}{RND}{init}{kernel}void main() {{ init(); kernel(); }}\n");
+    make("mult", variant, source, &["cm"])
+}

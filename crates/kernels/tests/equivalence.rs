@@ -1,0 +1,122 @@
+//! Every kernel must execute successfully, and paired variants (original vs
+//! transformed, array vs pointer) must compute identical results — the
+//! ground truth behind Tables 3 and 4.
+
+use vectorscope_interp::Vm;
+use vectorscope_kernels::{all_kernels, find, Kernel, Variant};
+
+/// Runs a kernel and returns the named output globals' contents.
+fn run_outputs(kernel: &Kernel) -> Vec<(String, Vec<f64>)> {
+    let module = kernel
+        .compile()
+        .unwrap_or_else(|e| panic!("{} failed to compile: {e}", kernel.file_name()));
+    let mut vm = Vm::new(&module);
+    vm.run_main()
+        .unwrap_or_else(|e| panic!("{} failed to run: {e}", kernel.file_name()));
+    let mut out = Vec::new();
+    for &name in kernel.outputs {
+        let gid = module
+            .lookup_global(name)
+            .unwrap_or_else(|| panic!("{}: no output global `{name}`", kernel.file_name()));
+        let g = module.global(gid);
+        let ty = g.elem_ty.expect("outputs are scalar-element globals");
+        let count = g.size / ty.size();
+        let values: Vec<f64> = (0..count).map(|i| vm.read_global(name, i)).collect();
+        out.push((name.to_string(), values));
+    }
+    out
+}
+
+#[test]
+fn every_kernel_runs_and_produces_finite_output() {
+    for k in all_kernels() {
+        let outputs = run_outputs(&k);
+        for (name, values) in &outputs {
+            assert!(
+                values.iter().all(|v| v.is_finite()),
+                "{}: output `{name}` contains non-finite values",
+                k.file_name()
+            );
+            // Results must not be all-zero (the kernel actually computed).
+            assert!(
+                values.iter().any(|v| *v != 0.0),
+                "{}: output `{name}` is identically zero",
+                k.file_name()
+            );
+        }
+    }
+}
+
+fn assert_variants_match(name: &str, a: Variant, b: Variant, tol: f64) {
+    let ka = find(name, a).unwrap_or_else(|| panic!("kernel {name} {a}"));
+    let kb = find(name, b).unwrap_or_else(|| panic!("kernel {name} {b}"));
+    let oa = run_outputs(&ka);
+    let ob = run_outputs(&kb);
+    assert_eq!(oa.len(), ob.len(), "{name}: output global lists differ");
+    for ((na, va), (nb, vb)) in oa.iter().zip(&ob) {
+        assert_eq!(na, nb, "{name}: output names differ");
+        assert_eq!(va.len(), vb.len(), "{name}/{na}: output lengths differ");
+        for (i, (x, y)) in va.iter().zip(vb).enumerate() {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            assert!(
+                (x - y).abs() <= tol * scale,
+                "{name}/{na}[{i}]: {a} gives {x}, {b} gives {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn case_studies_transformed_matches_original() {
+    // PDE and gromacs: identical operation order -> exact.
+    for name in ["pde_solver", "gromacs"] {
+        assert_variants_match(name, Variant::Original, Variant::Transformed, 0.0);
+    }
+    // Gauss-Seidel's split, milc's and bwaves' layout changes reassociate
+    // floating-point sums: tiny differences allowed.
+    for name in ["gauss_seidel", "milc", "bwaves"] {
+        assert_variants_match(name, Variant::Original, Variant::Transformed, 1e-12);
+    }
+}
+
+#[test]
+fn utdsp_pointer_matches_array() {
+    for name in ["fir", "iir", "fft", "latnrm", "lmsfir", "mult"] {
+        // Same arithmetic in the same order: results must be bit-identical.
+        assert_variants_match(name, Variant::Array, Variant::Pointer, 0.0);
+    }
+}
+
+#[test]
+fn ir_text_roundtrips_for_every_kernel() {
+    // print -> parse -> print must be a fixed point over the whole suite,
+    // exercising every IR construct the frontend can emit. Static
+    // instruction ids are renumbered in print order by design, so the
+    // comparison strips the `#id` comments.
+    fn normalize(text: &str) -> String {
+        text.lines()
+            .map(|l| match l.split_once("; #") {
+                Some((code, comment)) => {
+                    let span = comment.split_whitespace().nth(1).unwrap_or("");
+                    format!("{} ; {span}", code.trim_end())
+                }
+                None => l.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+    for k in all_kernels() {
+        let module = k.compile().unwrap();
+        let text = module.to_string();
+        let back = vectorscope_ir::parse::parse_module(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.file_name()));
+        assert_eq!(
+            normalize(&back.to_string()),
+            normalize(&text),
+            "{} does not round-trip",
+            k.file_name()
+        );
+        vectorscope_ir::verify::verify_module(&back)
+            .unwrap_or_else(|e| panic!("{}: reparsed module invalid: {e}", k.file_name()));
+    }
+}

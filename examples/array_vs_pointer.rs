@@ -1,0 +1,45 @@
+//! The paper's array-vs-pointer experiment (§4.3, Table 3) on the FIR
+//! kernel: the dynamic analysis is invariant to coding style, while the
+//! (model) compiler only vectorizes the array version.
+//!
+//! ```sh
+//! cargo run -p vectorscope --example array_vs_pointer
+//! ```
+
+use vectorscope::{analyze_program, AnalysisOptions};
+use vectorscope_autovec::{analyze_module, percent_packed};
+use vectorscope_kernels::{find, Variant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for variant in [Variant::Array, Variant::Pointer] {
+        let kernel = find("fir", variant).expect("fir kernel exists");
+        let module = kernel.compile()?;
+        let analysis = analyze_program(&module, &AnalysisOptions::default())?;
+        let decisions = analyze_module(&module);
+        let counts: Vec<_> = analysis
+            .per_inst
+            .iter()
+            .map(|m| (m.inst, m.instances))
+            .collect();
+        let packed = percent_packed(&decisions, &counts);
+        println!("FIR ({variant}):");
+        println!("  dynamic FP ops        : {}", analysis.metrics.total_ops);
+        println!(
+            "  average concurrency   : {:.1}",
+            analysis.metrics.avg_concurrency
+        );
+        println!(
+            "  unit-stride vec. ops  : {:.1}% (avg size {:.1})",
+            analysis.metrics.pct_unit_vec_ops, analysis.metrics.avg_unit_vec_size
+        );
+        println!("  compiler packed ops   : {packed:.1}%");
+        println!();
+    }
+    println!(
+        "Identical analysis numbers, different compiler outcomes: the\n\
+         pointer-walk addressing defeats the static vectorizer, exactly the\n\
+         asymmetry the paper measured with icc on UTDSP. The tool tells you\n\
+         the pointer code is *worth rewriting* in array style."
+    );
+    Ok(())
+}

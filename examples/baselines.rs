@@ -1,0 +1,90 @@
+//! Why the prior-work baselines miss vectorization potential (paper §2.1).
+//!
+//! Runs the paper's Listing 2 through all three analyses:
+//!
+//! * Kumar whole-DAG timestamps — fine-grained parallelism, but timestamp
+//!   classes interleave statements and say nothing about strides;
+//! * Larus loop-level parallelism — serialized by the loop-carried
+//!   dependence from S2 to S1;
+//! * the paper's per-statement analysis — both statements fully parallel
+//!   and unit-stride.
+//!
+//! ```sh
+//! cargo run -p vectorscope --example baselines
+//! ```
+
+use std::collections::HashSet;
+use vectorscope::partition;
+use vectorscope_ddg::{kumar, looplevel, Ddg};
+use vectorscope_interp::{CaptureSpec, Vm};
+
+const SRC: &str = r#"
+    const int N = 16;
+    double a[N]; double b[N]; double c[N];
+    void main() {
+        for (int i = 0; i < N; i++) { c[i] = (double)(i + 1) * 0.5; }
+        b[0] = 1.0;
+        for (int i = 1; i < N; i++) {
+            a[i] = 2.0 * b[i-1];     // S1
+            b[i] = 0.5 * c[i];       // S2
+        }
+    }
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = vectorscope_frontend::compile("listing2.kern", SRC)?;
+    let main_fn = module.lookup_function("main").expect("main exists");
+
+    // Trace exactly the S1/S2 loop (the second loop in the source).
+    let forest = vectorscope_ir::loops::LoopForest::new(module.function(main_fn));
+    let loop_id = forest
+        .iter()
+        .map(|(id, _)| id)
+        .max_by_key(|&id| forest.span_of(module.function(main_fn), id).line)
+        .expect("loops exist");
+    let mut vm = Vm::new(&module);
+    vm.set_capture(
+        CaptureSpec::Loop {
+            func: main_fn,
+            loop_id,
+            instance: 0,
+        },
+        "listing2",
+    );
+    vm.run_main()?;
+    let trace = vm.take_trace().expect("captured");
+    let ddg = Ddg::build(&module, &trace);
+
+    let k = kumar::analyze(&ddg);
+    println!(
+        "Kumar whole-DAG     : critical path {}, average parallelism {:.2}",
+        k.critical_path,
+        k.average_parallelism()
+    );
+
+    let ll = looplevel::analyze(&module, &trace, &ddg, main_fn, loop_id);
+    println!(
+        "Larus loop-level    : {} iterations scheduled in {} steps (parallelism {:.2})",
+        ll.iterations,
+        ll.schedule_length(),
+        ll.average_parallelism()
+    );
+
+    println!("Per-statement (ours):");
+    for inst in ddg.candidate_insts() {
+        let p = partition(&ddg, inst, &HashSet::new());
+        println!(
+            "  statement {inst}: {} instances in {} partition(s) of avg size {:.1}",
+            p.num_instances(),
+            p.groups.len(),
+            p.average_size()
+        );
+    }
+    println!(
+        "\nThe loop-carried S2→S1 dependence makes loop-level analysis\n\
+         serialize everything, while statement-level timestamps reveal that\n\
+         distributing the loop yields two fully vectorizable loops — the\n\
+         paper's Fig. 2(c)."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! The paper's Gauss-Seidel case study (§4.4, Listing 5), end to end.
+//!
+//! The 9-point Gauss-Seidel stencil has loop-carried dependences in both
+//! loops, so no compiler vectorizes it — yet the dynamic analysis shows
+//! that most of the additions are independent and contiguous. The paper's
+//! authors were surprised by this, inspected the dependences, and split the
+//! loop so that eight of the nine additions vectorize.
+//!
+//! ```sh
+//! cargo run -p vectorscope --example gauss_seidel
+//! ```
+
+use vectorscope::report::render_inst_breakdown;
+use vectorscope::{analyze_source, AnalysisOptions};
+use vectorscope_autovec::analyze_module;
+use vectorscope_kernels::{find, Variant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let original = find("gauss_seidel", Variant::Original).expect("kernel exists");
+    let transformed = find("gauss_seidel", Variant::Transformed).expect("kernel exists");
+
+    println!("--- original Gauss-Seidel ---");
+    let suite = analyze_source(
+        &original.file_name(),
+        &original.source,
+        &AnalysisOptions::default(),
+    )?;
+    let row = suite
+        .loops
+        .iter()
+        .find(|r| r.func_name == "kernel")
+        .expect("stencil loop is hot");
+    println!(
+        "hot loop {} : {:.1}% of cycles, avg concurrency {:.1}",
+        row.location(),
+        row.percent_cycles,
+        row.metrics.avg_concurrency
+    );
+    println!(
+        "unit-stride vectorizable ops: {:.1}% (the paper reports 22.2% — two\n\
+         of the nine additions, the ones whose operands come from the already\n\
+         finished previous row)",
+        row.metrics.pct_unit_vec_ops
+    );
+    println!("{}", render_inst_breakdown(row));
+
+    // The model compiler agrees with icc: nothing vectorizes.
+    let packed = analyze_module(&suite.module)
+        .iter()
+        .filter(|d| d.vectorized)
+        .count();
+    println!("model vectorizer: {packed} loop(s) vectorized (icc: none)\n");
+
+    println!("--- transformed (split loops, Listing 5 bottom) ---");
+    let module = vectorscope_frontend::compile(&transformed.file_name(), &transformed.source)?;
+    for d in analyze_module(&module) {
+        if d.vectorized {
+            println!(
+                "loop at line {} now VECTORIZES ({} packed FP instructions)",
+                d.line,
+                d.packed.len()
+            );
+        }
+    }
+    println!(
+        "\nThe split 8-add loop vectorizes; only the short A[i][j-1]+temp[j]\n\
+         recurrence stays scalar — reproducing the paper's manual fix."
+    );
+    Ok(())
+}

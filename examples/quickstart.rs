@@ -1,0 +1,51 @@
+//! Quickstart: analyze a small program's vectorization potential.
+//!
+//! ```sh
+//! cargo run -p vectorscope --example quickstart
+//! ```
+
+use vectorscope::report::{render_inst_breakdown, render_table};
+use vectorscope::{analyze_source, AnalysisOptions};
+
+fn main() -> Result<(), vectorscope::Error> {
+    // A program with three loops of very different character:
+    //  * `saxpy`   — independent iterations, unit stride: fully vectorizable;
+    //  * `prefix`  — a true recurrence: inherently serial;
+    //  * `strided` — independent but stride-2: needs a layout change.
+    let source = r#"
+        const int N = 256;
+        double a[N]; double b[N]; double c[N];
+        double p[N];
+        double s[2 * N];
+
+        void saxpy() {
+            for (int i = 0; i < N; i++) { c[i] = 2.5 * a[i] + b[i]; }
+        }
+        void prefix() {
+            for (int i = 1; i < N; i++) { p[i] = p[i-1] + a[i]; }
+        }
+        void strided() {
+            for (int i = 0; i < N; i++) { s[2 * i] = a[i] * 3.0; }
+        }
+        void main() {
+            for (int i = 0; i < N; i++) { a[i] = (double)i * 0.5; b[i] = 1.0; }
+            p[0] = 0.0;
+            saxpy();
+            prefix();
+            strided();
+        }
+    "#;
+
+    let suite = analyze_source("quickstart.kern", source, &AnalysisOptions::default())?;
+    println!("{}", render_table("Quickstart", &suite.loops));
+    for report in &suite.loops {
+        println!("{}", render_inst_breakdown(report));
+    }
+    println!(
+        "Reading the table: `saxpy` has one big parallel partition at unit\n\
+         stride (vectorizable as-is); `prefix` has average concurrency 1 (a\n\
+         serial chain, no SIMD potential); `strided`'s ops only group in the\n\
+         non-unit column (a data-layout transformation would unlock them)."
+    );
+    Ok(())
+}

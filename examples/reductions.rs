@@ -1,0 +1,55 @@
+//! Reduction handling: the paper's proposed extension in action.
+//!
+//! `acc += a[i]` chains every instance of the add through the accumulator,
+//! so the base analysis (faithful to the published tables) reports zero
+//! SIMD potential for it — even though compilers vectorize reductions by
+//! reassociating into a vector accumulator. The paper proposes detecting
+//! and ignoring reduction edges; `AnalysisOptions::break_reductions`
+//! implements that.
+//!
+//! ```sh
+//! cargo run -p vectorscope --example reductions
+//! ```
+
+use vectorscope::{analyze_source, AnalysisOptions};
+
+const SRC: &str = r#"
+    const int N = 256;
+    double a[N];
+    double total = 0.0;
+    void main() {
+        for (int i = 0; i < N; i++) { a[i] = (double)i * 0.25; }
+        double acc = 0.0;
+        for (int i = 0; i < N; i++) { acc += a[i]; }
+        total = acc;
+    }
+"#;
+
+fn main() -> Result<(), vectorscope::Error> {
+    for break_reductions in [false, true] {
+        let options = AnalysisOptions {
+            break_reductions,
+            ..AnalysisOptions::default()
+        };
+        let suite = analyze_source("reduction.kern", SRC, &options)?;
+        // Find the loop and instruction with the deepest partition chain —
+        // the accumulator.
+        let (row, acc) = suite
+            .loops
+            .iter()
+            .flat_map(|r| r.per_inst.iter().map(move |m| (r, m)))
+            .max_by_key(|(_, m)| (m.partitions, m.reduction))
+            .expect("fp ops present");
+        println!(
+            "break_reductions = {break_reductions:5}: accumulator has {} partitions \
+             (avg size {:.1}), loop unit-stride vec ops = {:.1}%",
+            acc.partitions, acc.avg_partition_size, row.metrics.pct_unit_vec_ops
+        );
+    }
+    println!(
+        "\nWith the extension on, the accumulation chain collapses into one\n\
+         partition — the analysis now reports the reduction's true SIMD\n\
+         potential, matching what compilers exploit with vector accumulators."
+    );
+    Ok(())
+}

@@ -1,0 +1,162 @@
+//! The paper's §4.1 robustness claim: "although metrics such as average
+//! vector size can vary with problem size, the qualitative insights about
+//! potential vectorizability do not change." These tests run the same loop
+//! patterns at different problem sizes and across different dynamic
+//! instances and check that the qualitative verdicts are stable while the
+//! size-dependent metrics scale as expected.
+
+use vectorscope::{analyze_loop, analyze_source, AnalysisOptions, InstancePick};
+
+fn gauss_seidel(n: usize) -> String {
+    format!(
+        r#"
+        const int N = {n};
+        double a[N][N];
+        void main() {{
+            for (int i = 0; i < N; i++)
+                for (int j = 0; j < N; j++)
+                    a[i][j] = (double)((i * 7 + j * 3) % 11) * 0.09;
+            double cnst = 1.0 / 9.0;
+            for (int i = 1; i < N - 1; i++)
+                for (int j = 1; j < N - 1; j++)
+                    a[i][j] = (a[i-1][j-1] + a[i-1][j] + a[i-1][j+1] +
+                               a[i][j-1] + a[i][j] + a[i][j+1] +
+                               a[i+1][j-1] + a[i+1][j] + a[i+1][j+1]) * cnst;
+        }}
+    "#
+    )
+}
+
+fn hottest(
+    suite: &vectorscope::SuiteReport,
+) -> &vectorscope::LoopReport {
+    suite
+        .loops
+        .iter()
+        .max_by(|a, b| a.percent_cycles.partial_cmp(&b.percent_cycles).unwrap())
+        .expect("hot loop")
+}
+
+#[test]
+fn gauss_seidel_verdict_is_size_invariant() {
+    let mut unit_pcts = Vec::new();
+    let mut avg_sizes = Vec::new();
+    for n in [16usize, 32, 48] {
+        let suite =
+            analyze_source("gs.kern", &gauss_seidel(n), &AnalysisOptions::default()).unwrap();
+        let row = hottest(&suite);
+        unit_pcts.push(row.metrics.pct_unit_vec_ops);
+        avg_sizes.push(row.metrics.avg_unit_vec_size);
+    }
+    // Qualitative: ~22.2% at every size.
+    for p in &unit_pcts {
+        assert!((p - 22.2).abs() < 1.0, "unit pcts: {unit_pcts:?}");
+    }
+    // Quantitative: the vectorizable group size grows with the row length.
+    assert!(
+        avg_sizes.windows(2).all(|w| w[0] < w[1]),
+        "avg sizes should grow with N: {avg_sizes:?}"
+    );
+}
+
+#[test]
+fn streaming_loop_is_fully_vectorizable_at_every_size() {
+    for n in [8usize, 64, 256] {
+        let src = format!(
+            r#"
+            const int N = {n};
+            double a[N]; double b[N];
+            void main() {{
+                for (int i = 0; i < N; i++) {{ b[i] = (double)i; }}
+                for (int i = 0; i < N; i++) {{ a[i] = b[i] * 2.0 + 1.0; }}
+            }}
+        "#
+        );
+        let suite = analyze_source("st.kern", &src, &AnalysisOptions::default()).unwrap();
+        let best = suite
+            .loops
+            .iter()
+            .max_by(|a, b| {
+                a.metrics
+                    .pct_unit_vec_ops
+                    .partial_cmp(&b.metrics.pct_unit_vec_ops)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            best.metrics.pct_unit_vec_ops > 99.0,
+            "N={n}: {:?}",
+            best.metrics
+        );
+        assert_eq!(best.metrics.avg_unit_vec_size, n as f64, "N={n}");
+    }
+}
+
+#[test]
+fn aos_verdict_is_size_invariant() {
+    for sites in [8usize, 32] {
+        let src = format!(
+            r#"
+            struct complex {{ double r; double i; }};
+            const int S = {sites};
+            complex z[S]; double out[S];
+            void main() {{
+                for (int k = 0; k < S; k++) {{ z[k].r = (double)k; z[k].i = 1.0; }}
+                for (int k = 0; k < S; k++) {{ out[k] = z[k].r * z[k].i + 0.5; }}
+            }}
+        "#
+        );
+        let suite = analyze_source("aos.kern", &src, &AnalysisOptions::default()).unwrap();
+        let row = suite
+            .loops
+            .iter()
+            .max_by(|a, b| {
+                a.metrics
+                    .pct_non_unit_vec_ops
+                    .partial_cmp(&b.metrics.pct_non_unit_vec_ops)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(
+            row.metrics.pct_non_unit_vec_ops > 30.0,
+            "S={sites}: {:?}",
+            row.metrics
+        );
+    }
+}
+
+#[test]
+fn uniform_loop_instances_agree() {
+    // A loop executed repeatedly under identical conditions must yield the
+    // same metrics whichever instance is captured.
+    let src = r#"
+        const int N = 24;
+        double a[N];
+        void main() {
+            for (int r = 0; r < 4; r++)
+                for (int i = 0; i < N; i++)
+                    a[i] = a[i] * 1.5 + 0.25;
+        }
+    "#;
+    let module = vectorscope_frontend::compile("inst.kern", src).unwrap();
+    let main_fn = module.lookup_function("main").unwrap();
+    let forest = vectorscope_ir::loops::LoopForest::new(module.function(main_fn));
+    let (inner, _) = forest.iter().find(|(_, l)| l.is_innermost()).unwrap();
+    let mut baseline = None;
+    for k in 0..4u64 {
+        let a = analyze_loop(
+            &module,
+            main_fn,
+            inner,
+            &AnalysisOptions {
+                loop_instance: InstancePick::Index(k),
+                ..AnalysisOptions::default()
+            },
+        )
+        .unwrap();
+        match &baseline {
+            None => baseline = Some(a.report.metrics.clone()),
+            Some(b) => assert_eq!(&a.report.metrics, b, "instance {k} differs"),
+        }
+    }
+}
