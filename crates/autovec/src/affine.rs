@@ -220,8 +220,7 @@ pub fn induction_vars(func: &Function, l: &Loop) -> Vec<InductionVar> {
                             out.push(InductionVar {
                                 reg: *dst,
                                 step,
-                                is_pointer: is_pointer
-                                    || func.reg(*dst).ty == ScalarTy::Ptr,
+                                is_pointer: is_pointer || func.reg(*dst).ty == ScalarTy::Ptr,
                             });
                         }
                     }
@@ -242,27 +241,29 @@ pub fn scan_loop(func: &Function, l: &Loop) -> LoopAccessInfo {
     // Initial symbolic state: every register maps to itself (its value at
     // loop entry / as a symbol). We materialize entries lazily.
     let mut sym: HashMap<RegId, Option<Affine>> = HashMap::new();
-    let lookup = |sym: &HashMap<RegId, Option<Affine>>, func: &Function, r: RegId| -> Option<Affine> {
-        match sym.get(&r) {
-            Some(v) => v.clone(),
-            None => {
-                // Unwritten-so-far register: a loop-entry symbol. Pointers
-                // get an opaque base; integers are symbolic terms.
-                if func.reg(r).ty == ScalarTy::Ptr {
-                    Some(Affine::of_base(Base::LoopIn(r)))
-                } else {
-                    Some(Affine::of_reg(r))
+    let lookup =
+        |sym: &HashMap<RegId, Option<Affine>>, func: &Function, r: RegId| -> Option<Affine> {
+            match sym.get(&r) {
+                Some(v) => v.clone(),
+                None => {
+                    // Unwritten-so-far register: a loop-entry symbol. Pointers
+                    // get an opaque base; integers are symbolic terms.
+                    if func.reg(r).ty == ScalarTy::Ptr {
+                        Some(Affine::of_base(Base::LoopIn(r)))
+                    } else {
+                        Some(Affine::of_reg(r))
+                    }
                 }
             }
-        }
-    };
-    let value_of = |sym: &HashMap<RegId, Option<Affine>>, func: &Function, v: Value| -> Option<Affine> {
-        match v {
-            Value::Reg(r) => lookup(sym, func, r),
-            Value::ImmInt(k) => Some(Affine::int_const(k)),
-            Value::ImmFloat(_) => None,
-        }
-    };
+        };
+    let value_of =
+        |sym: &HashMap<RegId, Option<Affine>>, func: &Function, v: Value| -> Option<Affine> {
+            match v {
+                Value::Reg(r) => lookup(sym, func, r),
+                Value::ImmInt(k) => Some(Affine::int_const(k)),
+                Value::ImmFloat(_) => None,
+            }
+        };
 
     let mut accesses = Vec::new();
     let mut calls = 0;
@@ -303,7 +304,13 @@ pub fn scan_loop(func: &Function, l: &Loop) -> LoopAccessInfo {
                 InstKind::GlobalAddr { dst, global } => {
                     sym.insert(*dst, Some(Affine::of_base(Base::Global(global.0))));
                 }
-                InstKind::Bin { op, ty, dst, lhs, rhs } if ty.is_int() => {
+                InstKind::Bin {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                } if ty.is_int() => {
                     let a = value_of(&sym, func, *lhs);
                     let c = value_of(&sym, func, *rhs);
                     let v = match (op, a, c) {

@@ -202,7 +202,10 @@ mod tests {
                 ..Machine::xeon_e5630()
             },
         );
-        assert!((sse - wider).abs() < 1e-9, "lanes must not matter: {sse} vs {wider}");
+        assert!(
+            (sse - wider).abs() < 1e-9,
+            "lanes must not matter: {sse} vs {wider}"
+        );
     }
 
     #[test]

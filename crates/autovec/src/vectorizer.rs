@@ -269,10 +269,7 @@ fn classify_recurrence(
                 }
             }
         }
-        let candidates = scc_insts
-            .iter()
-            .filter(|&&i| insts[i].is_candidate)
-            .count();
+        let candidates = scc_insts.iter().filter(|&&i| insts[i].is_candidate).count();
         let non_copy_non_candidate = scc_insts
             .iter()
             .filter(|&&i| !insts[i].is_candidate && !insts[i].is_copy)
@@ -528,7 +525,10 @@ mod tests {
             void main() { copy_ptr(a, b, N); }
         "#,
         );
-        let lp = d.iter().find(|x| !x.packed.is_empty() || x.reason.is_some()).unwrap();
+        let lp = d
+            .iter()
+            .find(|x| !x.packed.is_empty() || x.reason.is_some())
+            .unwrap();
         assert!(!lp.vectorized);
         assert_eq!(lp.reason, Some(Reason::PossibleAliasing));
     }
@@ -594,7 +594,10 @@ mod tests {
             }
         "#,
         );
-        let loop_d = with_call.iter().find(|d| d.reason.is_some() || d.vectorized).unwrap();
+        let loop_d = with_call
+            .iter()
+            .find(|d| d.reason.is_some() || d.vectorized)
+            .unwrap();
         assert_eq!(loop_d.reason, Some(Reason::Call));
 
         let with_intrin = single(
@@ -668,15 +671,8 @@ mod tests {
         )
         .unwrap();
         let decisions = analyze_module(&module);
-        assert_eq!(
-            decisions.iter().filter(|d| d.vectorized).count(),
-            1
-        );
-        let packed_inst = decisions
-            .iter()
-            .find(|d| d.vectorized)
-            .unwrap()
-            .packed[0];
+        assert_eq!(decisions.iter().filter(|d| d.vectorized).count(), 1);
+        let packed_inst = decisions.iter().find(|d| d.vectorized).unwrap().packed[0];
         // 10 packed fmuls vs 9 serial fadds.
         let counts = vec![(packed_inst, 10u64), (InstId(9999), 9u64)];
         let pct = percent_packed(&decisions, &counts);

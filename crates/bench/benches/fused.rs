@@ -1,0 +1,124 @@
+//! Fused vs per-instruction Algorithm 1 partitioning.
+//!
+//! A multi-statement kernel body produces many candidate instructions per
+//! DDG; the per-instruction reference (`partition`) walks the whole DDG
+//! once per candidate, while `partition_all` computes every candidate's
+//! timestamps in a single forward scan. This bench measures both on the
+//! same DDG and writes the comparison to `BENCH_fused.json` at the repo
+//! root.
+
+use criterion::{black_box, Criterion, Throughput};
+use std::collections::HashSet;
+use vectorscope::{partition, partition_all};
+use vectorscope_ddg::Ddg;
+use vectorscope_interp::{CaptureSpec, Vm};
+
+/// A loop body with many independent floating-point statements, so the DDG
+/// carries well over 8 candidate instructions.
+fn multi_statement_src(n: usize) -> String {
+    format!(
+        r#"
+const int N = {n};
+double a[N]; double b[N]; double c[N]; double d[N];
+double e[N]; double f[N]; double g[N]; double h[N];
+double p[N]; double q[N];
+void main() {{
+    for (int i = 0; i < N; i++) {{
+        b[i] = (double)i * 0.5;
+        c[i] = (double)(N - i) * 0.25;
+    }}
+    for (int i = 0; i < N; i++) {{
+        a[i] = b[i] * c[i];
+        d[i] = b[i] + c[i];
+        e[i] = a[i] - d[i];
+        f[i] = a[i] * 2.0;
+        g[i] = d[i] + 1.0;
+        h[i] = e[i] * f[i];
+        p[i] = g[i] + h[i];
+        q[i] = p[i] * 0.5;
+    }}
+}}
+"#
+    )
+}
+
+fn build_ddg(n: usize) -> Ddg {
+    let src = multi_statement_src(n);
+    let module = vectorscope_frontend::compile("fused.kern", &src).unwrap();
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, "fused");
+    vm.run_main().unwrap();
+    let trace = vm.take_trace().unwrap();
+    Ddg::build(&module, &trace)
+}
+
+fn bench_fused(c: &mut Criterion) {
+    let ddg = build_ddg(256);
+    let insts = ddg.candidate_insts();
+    assert!(
+        insts.len() >= 8,
+        "kernel must expose at least 8 candidate statements, got {}",
+        insts.len()
+    );
+    let empty = HashSet::new();
+
+    // Sanity: the two paths agree before we time them.
+    let fused = partition_all(&ddg, &insts, &[]);
+    for (&inst, got) in insts.iter().zip(&fused) {
+        assert_eq!(got, &partition(&ddg, inst, &empty));
+    }
+
+    let mut group = c.benchmark_group("partition_multi");
+    group.throughput(Throughput::Elements(ddg.len() as u64));
+    group.bench_function("per_instruction", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &inst in &insts {
+                total += black_box(partition(&ddg, inst, &empty)).groups.len();
+            }
+            total
+        });
+    });
+    group.bench_function("fused", |b| {
+        b.iter(|| {
+            black_box(partition_all(&ddg, &insts, &[]))
+                .iter()
+                .map(|p| p.groups.len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_fused(&mut criterion);
+
+    let results = criterion.results();
+    let per_inst = results
+        .iter()
+        .find(|r| r.id.ends_with("per_instruction"))
+        .expect("per_instruction result");
+    let fused = results
+        .iter()
+        .find(|r| r.id.ends_with("/fused"))
+        .expect("fused result");
+    let speedup = per_inst.ns_per_iter / fused.ns_per_iter;
+
+    let ddg = build_ddg(256);
+    let json = format!(
+        "{{\n  \"bench\": \"partition_multi\",\n  \"kernel\": \"8-statement loop body, N=256, program trace\",\n  \"ddg_nodes\": {},\n  \"candidate_insts\": {},\n  \"per_instruction_ns\": {:.1},\n  \"fused_ns\": {:.1},\n  \"speedup\": {:.2}\n}}\n",
+        ddg.len(),
+        ddg.candidate_insts().len(),
+        per_inst.ns_per_iter,
+        fused.ns_per_iter,
+        speedup
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fused.json");
+    std::fs::write(path, &json).expect("write BENCH_fused.json");
+    println!("speedup: {speedup:.2}x  (written to BENCH_fused.json)");
+    assert!(
+        speedup >= 2.0,
+        "fused scan must be at least 2x faster than per-instruction, got {speedup:.2}x"
+    );
+}

@@ -130,8 +130,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     c.bench_function("analyze_source_stencil32", |b| {
         b.iter(|| {
             let suite =
-                analyze_source("bench.kern", black_box(&src), &AnalysisOptions::default())
-                    .unwrap();
+                analyze_source("bench.kern", black_box(&src), &AnalysisOptions::default()).unwrap();
             black_box(suite.loops.len())
         });
     });

@@ -22,7 +22,12 @@ fn candidates_by_count(ddg: &Ddg) -> Vec<(InstId, usize)> {
     let mut v: Vec<(InstId, usize)> = ddg
         .candidate_insts()
         .into_iter()
-        .map(|i| (i, ddg.candidate_nodes().filter(|&n| ddg.inst(n) == i).count()))
+        .map(|i| {
+            (
+                i,
+                ddg.candidate_nodes().filter(|&n| ddg.inst(n) == i).count(),
+            )
+        })
         .collect();
     v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     v

@@ -1,8 +1,8 @@
 //! Case-study speedup computation (Table 4).
 
 use crate::{reachable_funcs, restrict_counts};
-use vectorscope_autovec::costmodel::{estimate_cycles, Machine};
 use vectorscope_autovec::analyze_module;
+use vectorscope_autovec::costmodel::{estimate_cycles, Machine};
 use vectorscope_interp::{CostModel, Vm};
 use vectorscope_kernels::{find, Kernel, Variant};
 

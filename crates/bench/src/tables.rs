@@ -37,9 +37,7 @@ pub fn analyze_kernel_program(
     kernel: &Kernel,
     options: &AnalysisOptions,
 ) -> Result<LoopReport, vectorscope::Error> {
-    let module = kernel
-        .compile()
-        .map_err(vectorscope::Error::Compile)?;
+    let module = kernel.compile().map_err(vectorscope::Error::Compile)?;
     let analysis = analyze_program(&module, options)?;
     let decisions = analyze_module(&module);
     let counts: Vec<(vectorscope_ir::InstId, u64)> = analysis
@@ -89,7 +87,10 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let options = AnalysisOptions::default();
     let mut rows = Vec::new();
-    for kernel in [studies::gauss_seidel_original(), studies::pde_solver_original()] {
+    for kernel in [
+        studies::gauss_seidel_original(),
+        studies::pde_solver_original(),
+    ] {
         let mut loops = analyze_kernel_hot_loops(&kernel, &options)
             .unwrap_or_else(|e| panic!("{}: {e}", kernel.file_name()));
         // The paper reports the kernel's main loop: keep the hottest row.
@@ -163,11 +164,7 @@ mod tests {
             .find(|r| r.func_name == "block_kernel")
             .expect("block_kernel loop is hot");
         assert_eq!(row.percent_packed, Some(0.0), "{row:?}");
-        assert!(
-            row.metrics.pct_unit_vec_ops > 80.0,
-            "{:?}",
-            row.metrics
-        );
+        assert!(row.metrics.pct_unit_vec_ops > 80.0, "{:?}", row.metrics);
     }
 
     #[test]
@@ -176,10 +173,10 @@ mod tests {
         // array vs pointer style, while the compiler is not.
         let options = AnalysisOptions::default();
         for name in ["fir", "mult"] {
-            let arr = analyze_kernel_program(&find(name, Variant::Array).unwrap(), &options)
-                .unwrap();
-            let ptr = analyze_kernel_program(&find(name, Variant::Pointer).unwrap(), &options)
-                .unwrap();
+            let arr =
+                analyze_kernel_program(&find(name, Variant::Array).unwrap(), &options).unwrap();
+            let ptr =
+                analyze_kernel_program(&find(name, Variant::Pointer).unwrap(), &options).unwrap();
             let (ma, mp) = (&arr.metrics, &ptr.metrics);
             assert_eq!(ma.total_ops, mp.total_ops, "{name}: op counts differ");
             assert!(

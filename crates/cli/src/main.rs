@@ -316,7 +316,12 @@ fn cmd_parallelism(rest: &[String]) -> CliResult {
         return Ok(());
     }
     let per = k.histogram.len().div_ceil(buckets);
-    let max: u64 = k.histogram.chunks(per).map(|c| c.iter().sum()).max().unwrap_or(1);
+    let max: u64 = k
+        .histogram
+        .chunks(per)
+        .map(|c| c.iter().sum())
+        .max()
+        .unwrap_or(1);
     for (i, chunk) in k.histogram.chunks(per).enumerate() {
         let total: u64 = chunk.iter().sum();
         let width = (total * 50 / max.max(1)) as usize;

@@ -155,7 +155,10 @@ void main() {
     let path = write_temp("triage.kern", src);
     let (out, err, ok) = vscope(&["triage", path.to_str().unwrap()]);
     assert!(ok, "stderr: {err}");
-    assert!(out.contains("MISSED OPPORTUNITY") || out.contains("already vectorized"), "{out}");
+    assert!(
+        out.contains("MISSED OPPORTUNITY") || out.contains("already vectorized"),
+        "{out}"
+    );
     assert!(out.contains("verdict"), "{out}");
 }
 

@@ -97,13 +97,7 @@ mod tests {
             .filter(|(_, l)| l.is_innermost())
             .max_by_key(|(_, l)| l.blocks.len())
             .expect("loop exists");
-        loop_irregularity(
-            &module,
-            func,
-            loop_id,
-            vm.inst_counts(),
-            vm.branch_taken(),
-        )
+        loop_irregularity(&module, func, loop_id, vm.inst_counts(), vm.branch_taken())
     }
 
     #[test]

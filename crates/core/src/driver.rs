@@ -186,6 +186,12 @@ pub fn analyze_program(
 /// (≥ `hot_threshold_pct` of cycles, the paper's §4.1 rule), captures one
 /// sub-trace per hot loop, and analyzes each.
 ///
+/// The capture phase executes the program exactly **once** regardless of
+/// how many hot loops or sampled instances there are: every sampled
+/// (loop, instance) pair is armed as its own simultaneous [`CaptureSpec`]
+/// on a single VM, so the whole analysis costs two executions total
+/// (profile + capture) instead of one per sampled instance.
+///
 /// # Errors
 ///
 /// Returns [`Error::Compile`] for invalid source and [`Error::Vm`] if any
@@ -206,24 +212,72 @@ pub fn analyze_source(
     let inst_counts = vm.inst_counts().to_vec();
     let branch_taken = vm.branch_taken().to_vec();
 
-    let mut loops = Vec::new();
+    // Plan every (loop, instance) capture, then run once.
+    struct Plan {
+        func: FuncId,
+        loop_id: LoopId,
+        line: u32,
+        percent: f64,
+        n_traces: usize,
+    }
+    let mut cap_vm = Vm::with_options(&module, options.vm_options());
+    let mut plans: Vec<Plan> = Vec::new();
     for h in &hot {
-        let mut analysis = analyze_loop_inner(
+        let func = h.profile.key.func;
+        let loop_id = h.profile.key.loop_id;
+        let function = module.function(func);
+        let line = vm.forests()[func.index()].span_of(function, loop_id).line;
+        if h.profile.entries == 0 {
+            return Err(Error::EmptyTrace {
+                func: function.name().to_string(),
+                line,
+            });
+        }
+        let label = format!("{}:{}", function.name(), line);
+        let instances = sampled_instances(options.loop_instance, h.profile.entries);
+        for &instance in &instances {
+            cap_vm.add_capture(
+                CaptureSpec::Loop {
+                    func,
+                    loop_id,
+                    instance,
+                },
+                &label,
+            );
+        }
+        plans.push(Plan {
+            func,
+            loop_id,
+            line,
+            percent: h.profile.percent,
+            n_traces: instances.len(),
+        });
+    }
+    if !plans.is_empty() {
+        cap_vm.run_main()?;
+    }
+    let mut traces = cap_vm.take_traces().into_iter();
+
+    let mut loops = Vec::new();
+    for p in plans {
+        let loop_traces: Vec<_> = traces.by_ref().take(p.n_traces).collect();
+        let Some((ddg, metrics, per_inst)) = best_of_traces(&module, options, loop_traces) else {
+            return Err(Error::EmptyTrace {
+                func: module.function(p.func).name().to_string(),
+                line: p.line,
+            });
+        };
+        let mut report = make_report(
+            &module, p.func, p.loop_id, p.line, p.percent, metrics, per_inst, &ddg,
+        );
+        report.control_irregularity = crate::control::loop_irregularity(
             &module,
-            h.profile.key.func,
-            h.profile.key.loop_id,
-            options,
-            h.profile.percent,
-            h.profile.entries,
-        )?;
-        analysis.report.control_irregularity = crate::control::loop_irregularity(
-            &module,
-            h.profile.key.func,
-            h.profile.key.loop_id,
+            p.func,
+            p.loop_id,
             &inst_counts,
             &branch_taken,
         );
-        loops.push(analysis.report);
+        loops.push(report);
     }
     loops.sort_by(|a, b| {
         b.percent_cycles
@@ -267,65 +321,41 @@ pub fn analyze_loop(
     Ok(analysis)
 }
 
-fn capture_instance(
-    module: &Module,
-    func: FuncId,
-    loop_id: LoopId,
-    options: &AnalysisOptions,
-    instance: u64,
-    label: &str,
-) -> Result<vectorscope_trace::Trace, Error> {
-    let mut vm = Vm::with_options(module, options.vm_options());
-    vm.set_capture(
-        CaptureSpec::Loop {
-            func,
-            loop_id,
-            instance,
-        },
-        label,
-    );
-    vm.run_main()?;
-    Ok(vm.take_trace().expect("capture was armed"))
-}
-
-fn analyze_loop_inner(
-    module: &Module,
-    func: FuncId,
-    loop_id: LoopId,
-    options: &AnalysisOptions,
-    percent_cycles: f64,
-    entries: u64,
-) -> Result<LoopAnalysis, Error> {
-    let function = module.function(func);
-    let forest = vectorscope_ir::loops::LoopForest::new(function);
-    let line = forest.span_of(function, loop_id).line;
-    let label = format!("{}:{}", function.name(), line);
-
-    let clamp = |i: u64| {
-        if entries == 0 {
-            i
-        } else {
-            i.min(entries - 1)
-        }
-    };
-    // Instances to try, per the sampling policy.
-    let candidates: Vec<u64> = match options.loop_instance {
+/// The dynamic loop instances to capture, per the sampling policy.
+///
+/// `entries` must be non-zero (callers return [`Error::EmptyTrace`] before
+/// arming any capture otherwise).
+fn sampled_instances(pick: InstancePick, entries: u64) -> Vec<u64> {
+    let clamp = |i: u64| i.min(entries - 1);
+    match pick {
         InstancePick::Index(i) => vec![clamp(i)],
         InstancePick::Representative(k) => {
             let k = k.max(1);
-            let n = entries.max(1);
-            let mut v: Vec<u64> = (0..k).map(|s| clamp(s * n / k)).collect();
+            let mut v: Vec<u64> = (0..k).map(|s| clamp(s * entries / k)).collect();
             v.dedup();
             v
         }
-    };
+    }
+}
 
-    // Analyze each sampled instance; keep the one with the most candidate
-    // operations (the paper's "representative subtrace").
-    let mut best: Option<(Ddg, crate::metrics::LoopMetrics, Vec<crate::metrics::InstMetrics>)> =
-        None;
-    for instance in candidates {
-        let trace = capture_instance(module, func, loop_id, options, instance, &label)?;
+/// Analyzes each captured sub-trace and keeps the one with the most
+/// candidate operations (the paper's "representative subtrace"). Returns
+/// `None` if every trace is empty.
+fn best_of_traces(
+    module: &Module,
+    options: &AnalysisOptions,
+    traces: Vec<vectorscope_trace::Trace>,
+) -> Option<(
+    Ddg,
+    crate::metrics::LoopMetrics,
+    Vec<crate::metrics::InstMetrics>,
+)> {
+    let mut best: Option<(
+        Ddg,
+        crate::metrics::LoopMetrics,
+        Vec<crate::metrics::InstMetrics>,
+    )> = None;
+    for trace in traces {
         if trace.is_empty() {
             continue;
         }
@@ -339,15 +369,80 @@ fn analyze_loop_inner(
             best = Some((ddg, metrics, per_inst));
         }
     }
-    let Some((ddg, metrics, per_inst)) = best else {
+    best
+}
+
+fn analyze_loop_inner(
+    module: &Module,
+    func: FuncId,
+    loop_id: LoopId,
+    options: &AnalysisOptions,
+    percent_cycles: f64,
+    entries: u64,
+) -> Result<LoopAnalysis, Error> {
+    let function = module.function(func);
+    let forest = vectorscope_ir::loops::LoopForest::new(function);
+    let line = forest.span_of(function, loop_id).line;
+
+    // A loop that was never entered cannot produce a trace; fail before
+    // spending a capture run (and before `sampled_instances`, whose clamp
+    // needs `entries > 0`).
+    if entries == 0 {
+        return Err(Error::EmptyTrace {
+            func: function.name().to_string(),
+            line,
+        });
+    }
+
+    // One execution captures every sampled instance simultaneously.
+    let label = format!("{}:{}", function.name(), line);
+    let mut vm = Vm::with_options(module, options.vm_options());
+    for &instance in &sampled_instances(options.loop_instance, entries) {
+        vm.add_capture(
+            CaptureSpec::Loop {
+                func,
+                loop_id,
+                instance,
+            },
+            &label,
+        );
+    }
+    vm.run_main()?;
+
+    let Some((ddg, metrics, per_inst)) = best_of_traces(module, options, vm.take_traces()) else {
         return Err(Error::EmptyTrace {
             func: function.name().to_string(),
             line,
         });
     };
-    let report = LoopReport {
+    let report = make_report(
+        module,
+        func,
+        loop_id,
+        line,
+        percent_cycles,
+        metrics,
+        per_inst,
+        &ddg,
+    );
+    Ok(LoopAnalysis { report, ddg })
+}
+
+/// Assembles a report row from the analysis results.
+#[allow(clippy::too_many_arguments)]
+fn make_report(
+    module: &Module,
+    func: FuncId,
+    loop_id: LoopId,
+    line: u32,
+    percent_cycles: f64,
+    metrics: crate::metrics::LoopMetrics,
+    per_inst: Vec<crate::metrics::InstMetrics>,
+    ddg: &Ddg,
+) -> LoopReport {
+    LoopReport {
         module_name: module.name().to_string(),
-        func_name: function.name().to_string(),
+        func_name: module.function(func).name().to_string(),
         func,
         loop_id,
         loop_line: line,
@@ -357,8 +452,7 @@ fn analyze_loop_inner(
         metrics,
         per_inst,
         ddg_nodes: ddg.len(),
-    };
-    Ok(LoopAnalysis { report, ddg })
+    }
 }
 
 #[cfg(test)]
@@ -417,11 +511,9 @@ mod tests {
         "#;
         let module = vectorscope_frontend::compile("one.kern", src).unwrap();
         let main = module.lookup_function("main").unwrap();
-        let forest =
-            vectorscope_ir::loops::LoopForest::new(module.function(main));
+        let forest = vectorscope_ir::loops::LoopForest::new(module.function(main));
         let (loop_id, _) = forest.iter().next().unwrap();
-        let analysis =
-            analyze_loop(&module, main, loop_id, &AnalysisOptions::default()).unwrap();
+        let analysis = analyze_loop(&module, main, loop_id, &AnalysisOptions::default()).unwrap();
         assert_eq!(analysis.report.metrics.total_ops, 16);
         assert!(analysis.report.percent_cycles > 0.0);
         assert!(analysis.ddg.len() > 16);
@@ -447,5 +539,28 @@ mod tests {
         };
         let analysis = analyze_loop(&module, main, inner, &options).unwrap();
         assert_eq!(analysis.report.metrics.total_ops, 8);
+    }
+
+    #[test]
+    fn never_entered_loop_is_empty_trace_error() {
+        let src = r#"
+            const int N = 8;
+            double a[N];
+            double dead(double x) {
+                for (int i = 0; i < N; i++) { x = x + a[i]; }
+                return x;
+            }
+            void main() {
+                for (int i = 0; i < N; i++) { a[i] = 2.0; }
+            }
+        "#;
+        let module = vectorscope_frontend::compile("never.kern", src).unwrap();
+        let dead = module.lookup_function("dead").unwrap();
+        let forest = vectorscope_ir::loops::LoopForest::new(module.function(dead));
+        let (loop_id, _) = forest.iter().next().unwrap();
+        // `dead` is never called, so its loop has zero profiled entries and
+        // the analysis must fail before spending a capture run.
+        let err = analyze_loop(&module, dead, loop_id, &AnalysisOptions::default());
+        assert!(matches!(err, Err(Error::EmptyTrace { .. })), "got {err:?}");
     }
 }

@@ -39,7 +39,12 @@ fn num(v: f64) -> String {
 }
 
 fn metrics_json(m: &LoopMetrics) -> String {
-    let buckets: Vec<String> = m.vec_lengths.buckets.iter().map(|b| b.to_string()).collect();
+    let buckets: Vec<String> = m
+        .vec_lengths
+        .buckets
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
     format!(
         "{{\"total_ops\":{},\"avg_concurrency\":{},\"pct_unit_vec_ops\":{},\
          \"avg_unit_vec_size\":{},\"pct_non_unit_vec_ops\":{},\"avg_non_unit_vec_size\":{},\

@@ -68,7 +68,7 @@ pub use driver::{
     LoopAnalysis, ProgramAnalysis, SuiteReport,
 };
 pub use metrics::{InstMetrics, LoopMetrics, VecLengthHistogram};
-pub use partition::{partition, Partitions};
+pub use partition::{partition, partition_all, Partitions};
 pub use report::LoopReport;
 pub use stride::{non_unit_stride, unit_stride, StrideReport};
 pub use vectorscope_ddg::CandidatePolicy;

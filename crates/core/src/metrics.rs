@@ -18,7 +18,7 @@
 //! and is attached to reports by the caller, mirroring how the paper takes
 //! that column from HPCToolkit measurements of icc-compiled binaries.
 
-use crate::partition::partition;
+use crate::partition::partition_all;
 use crate::reduction::reduction_chains;
 use crate::stride::{analyze_partition, StrideReport};
 use std::collections::HashSet;
@@ -109,11 +109,16 @@ impl VecLengthHistogram {
         if total == 0 {
             return 0.0;
         }
-        let from = if min_size < 4 {
+        // Bucket k holds sizes [2^(k+1), 2^(k+2)); it counts toward
+        // `min_size` only if its lower bound 2^(k+1) >= min_size, i.e.
+        // k + 1 >= ceil(log2(min_size)). Flooring here would let a bucket
+        // whose smallest members are below `min_size` slip in (e.g.
+        // min_size = 3 counting size-2 groups).
+        let from = if min_size <= 2 {
             0
         } else {
-            ((usize::BITS - 1 - min_size.leading_zeros()) as usize - 1)
-                .min(self.buckets.len() - 1)
+            let ceil_log2 = (usize::BITS - (min_size - 1).leading_zeros()) as usize;
+            (ceil_log2 - 1).min(self.buckets.len() - 1)
         };
         let big: u64 = self.buckets[from..].iter().sum();
         big as f64 / total as f64
@@ -127,15 +132,13 @@ impl VecLengthHistogram {
 }
 
 /// Options controlling the DDG analysis.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MetricOptions {
     /// Detect reduction chains and break their self-dependences before
     /// partitioning (the paper's proposed extension; off by default to
     /// match the published tables).
     pub break_reductions: bool,
 }
-
 
 /// Runs the full per-instruction analysis over one DDG and aggregates the
 /// paper's table metrics.
@@ -163,10 +166,21 @@ pub fn analyze_ddg(
     let mut non_unit_ops = 0u64;
     let mut non_unit_subparts = 0u64;
 
-    for inst in ddg.candidate_insts() {
-        let chain = reductions.iter().find(|c| c.inst == inst);
-        let ignore = chain.map(|c| &c.chain_nodes).unwrap_or(&empty);
-        let parts = partition(ddg, inst, ignore);
+    // One fused forward scan partitions every candidate at once (the old
+    // code re-ran the full Algorithm 1 scan per candidate instruction).
+    let insts = ddg.candidate_insts();
+    let chains: Vec<Option<&crate::reduction::ReductionChain>> = insts
+        .iter()
+        .map(|&inst| reductions.iter().find(|c| c.inst == inst))
+        .collect();
+    let ignores: Vec<&HashSet<u32>> = chains
+        .iter()
+        .map(|chain| chain.map(|c| &c.chain_nodes).unwrap_or(&empty))
+        .collect();
+    let all_parts = partition_all(ddg, &insts, &ignores);
+
+    for (parts, chain) in all_parts.into_iter().zip(chains) {
+        let inst = parts.inst;
         let elem = ddg.elem_size(inst);
 
         let mut m = InstMetrics {
@@ -277,9 +291,9 @@ mod tests {
     #[test]
     fn histogram_buckets_and_shares() {
         let mut h = VecLengthHistogram::default();
-        h.record(2);   // bucket 0
-        h.record(3);   // bucket 0
-        h.record(8);   // bucket 2
+        h.record(2); // bucket 0
+        h.record(3); // bucket 0
+        h.record(8); // bucket 2
         h.record(100); // bucket 5 (64..127)
         assert_eq!(h.buckets[0], 5);
         assert_eq!(h.buckets[2], 8);
@@ -290,6 +304,28 @@ mod tests {
         // Saturation: enormous groups land in the last bucket.
         h.record(1 << 20);
         assert_eq!(h.buckets[9], 1 << 20);
+    }
+
+    #[test]
+    fn share_at_least_uses_bucket_lower_bounds() {
+        let mut h = VecLengthHistogram::default();
+        h.record(2); // bucket 0 (sizes 2..3)
+        h.record(4); // bucket 1 (sizes 4..7)
+        h.record(32); // bucket 4 (sizes 32..63)
+        let total = (2 + 4 + 32) as f64;
+        // min_size = 2: every bucket qualifies.
+        assert_eq!(h.share_at_least(2), 1.0);
+        // min_size = 3: bucket 0's lower bound is 2, so its size-2 groups
+        // must NOT be counted as >= 3.
+        assert!((h.share_at_least(3) - 36.0 / total).abs() < 1e-12);
+        // min_size = 4: same cut as 3 (bucket 1 starts at exactly 4).
+        assert!((h.share_at_least(4) - 36.0 / total).abs() < 1e-12);
+        // min_size = 32: only the warp-sized bucket.
+        assert!((h.share_at_least(32) - 32.0 / total).abs() < 1e-12);
+        // min_size = 5: bucket 1 (4..7) contains sizes below 5; exclude it.
+        assert!((h.share_at_least(5) - 32.0 / total).abs() < 1e-12);
+        // Beyond the last bucket's lower bound: clamps to the last bucket.
+        assert_eq!(h.share_at_least(1 << 30), 0.0);
     }
 
     #[test]

@@ -118,6 +118,98 @@ pub fn partition(ddg: &Ddg, inst: InstId, ignore_self_deps: &HashSet<u32>) -> Pa
     Partitions { inst, groups }
 }
 
+/// Runs Algorithm 1 for *all* of `insts` in a single forward scan.
+///
+/// Produces exactly the same [`Partitions`] (group structure, ordering, and
+/// membership) as calling [`partition`] once per instruction, but touches
+/// each DDG node and edge once instead of once per candidate: timestamps
+/// are kept as `insts.len()` lanes of `u32` per node in one flat,
+/// node-major vector, so the per-edge inner loop is a contiguous
+/// element-wise `max` over the predecessor's lanes. On multi-statement
+/// kernels this turns the former `O(k · (V + E))` pointer-chasing
+/// re-scans into one cache-friendly pass (see `DESIGN.md`).
+///
+/// `ignore_sets[j]` lists the nodes whose *outgoing* dependence
+/// contributions are ignored while timestamping lane `j` — the reduction
+/// extension, per instruction, exactly as the `ignore_self_deps` parameter
+/// of [`partition`]. Pass an empty slice when no lane breaks reductions.
+///
+/// # Panics
+///
+/// Panics if `ignore_sets` is non-empty and its length differs from
+/// `insts.len()`.
+pub fn partition_all(
+    ddg: &Ddg,
+    insts: &[InstId],
+    ignore_sets: &[&HashSet<u32>],
+) -> Vec<Partitions> {
+    assert!(
+        ignore_sets.is_empty() || ignore_sets.len() == insts.len(),
+        "ignore_sets must be empty or match insts ({} vs {})",
+        ignore_sets.len(),
+        insts.len()
+    );
+    let k = insts.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    // Lane index per tracked instruction. Duplicate entries in `insts` each
+    // get their own (identical) lane, preserving output arity.
+    let mut lanes_of: std::collections::HashMap<InstId, Vec<usize>> =
+        std::collections::HashMap::with_capacity(k);
+    for (j, &inst) in insts.iter().enumerate() {
+        lanes_of.entry(inst).or_default().push(j);
+    }
+    // Union of all ignore sets: the fast path skips per-lane membership
+    // checks entirely for predecessors no lane ignores (the common case —
+    // reduction chains are short and most runs have none).
+    let ignored_anywhere: HashSet<u32> =
+        ignore_sets.iter().flat_map(|s| s.iter().copied()).collect();
+
+    let v = ddg.len();
+    // Node-major timestamp lanes: ts[n * k + j] is instruction j's
+    // Algorithm 1 timestamp at node n.
+    let mut ts = vec![0u32; v * k];
+    let mut groups: Vec<Vec<Vec<u32>>> = vec![Vec::new(); k];
+    let mut cur = vec![0u32; k];
+    for n in 0..v as u32 {
+        cur.fill(0);
+        for p in ddg.preds(n) {
+            let pred_lanes = &ts[p as usize * k..p as usize * k + k];
+            if ignored_anywhere.is_empty() || !ignored_anywhere.contains(&p) {
+                for (c, &t) in cur.iter_mut().zip(pred_lanes) {
+                    *c = (*c).max(t);
+                }
+            } else {
+                for (j, (c, &t)) in cur.iter_mut().zip(pred_lanes).enumerate() {
+                    if !ignore_sets[j].contains(&p) {
+                        *c = (*c).max(t);
+                    }
+                }
+            }
+        }
+        if ddg.is_candidate(n) {
+            if let Some(lanes) = lanes_of.get(&ddg.inst(n)) {
+                for &j in lanes {
+                    cur[j] += 1;
+                    let idx = (cur[j] - 1) as usize;
+                    let g = &mut groups[j];
+                    if g.len() <= idx {
+                        g.resize_with(idx + 1, Vec::new);
+                    }
+                    g[idx].push(n);
+                }
+            }
+        }
+        ts[n as usize * k..n as usize * k + k].copy_from_slice(&cur);
+    }
+    insts
+        .iter()
+        .zip(groups)
+        .map(|(&inst, groups)| Partitions { inst, groups })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +439,95 @@ mod tests {
             let total: usize = parts.groups.iter().map(Vec::len).sum();
             prop_assert_eq!(total, is_s.iter().filter(|&&b| b).count());
         }
+
+        /// The fused single-scan partitioner must produce byte-identical
+        /// groups to the per-instruction reference for every candidate —
+        /// including when per-instruction `ignore_self_deps` sets are in
+        /// play (the reduction extension).
+        #[test]
+        fn fused_partitioning_matches_reference(
+            spec in prop::collection::vec(
+                (any::<u8>(), prop::collection::vec(any::<u16>(), 0..4), any::<u8>()),
+                1..80,
+            )
+        ) {
+            // Random DAG over several static candidate instructions
+            // (InstId 1..=4); the extra tag byte seeds the ignore sets.
+            const K: u32 = 4;
+            let mut nodes = Vec::with_capacity(spec.len());
+            let mut ignore_sets: Vec<HashSet<u32>> = vec![HashSet::new(); K as usize];
+            for (i, (tag, raw_preds, ignore_tag)) in spec.iter().enumerate() {
+                let which = tag % (K as u8 + 2); // 2/6 of nodes are non-candidates
+                let is_cand = which < K as u8;
+                let inst = if is_cand { InstId(which as u32 + 1) } else { InstId(0) };
+                let ps: Vec<u32> = if i == 0 {
+                    vec![]
+                } else {
+                    raw_preds.iter().map(|&r| (r as usize % i) as u32).collect()
+                };
+                nodes.push(SyntheticNode {
+                    inst,
+                    addr: 0,
+                    class: if is_cand { SyntheticClass::Candidate } else { SyntheticClass::Other },
+                    writers: if ps.is_empty() { vec![EXTERNAL] } else { ps },
+                });
+                // ~1/4 of nodes land in some lane's ignore set.
+                if ignore_tag % 4 == 0 {
+                    ignore_sets[(*ignore_tag as usize / 4) % K as usize].insert(i as u32);
+                }
+            }
+            let ddg = Ddg::synthetic(nodes);
+            let insts: Vec<InstId> = (1..=K).map(InstId).collect();
+            let ignore_refs: Vec<&HashSet<u32>> = ignore_sets.iter().collect();
+
+            let fused = partition_all(&ddg, &insts, &ignore_refs);
+            prop_assert_eq!(fused.len(), insts.len());
+            for ((&inst, ignore), got) in insts.iter().zip(&ignore_sets).zip(&fused) {
+                let want = partition(&ddg, inst, ignore);
+                prop_assert_eq!(got, &want, "fused partitions diverge for {:?}", inst);
+            }
+
+            // And without any ignore sets, the empty-slice shorthand.
+            let fused_plain = partition_all(&ddg, &insts, &[]);
+            for (&inst, got) in insts.iter().zip(&fused_plain) {
+                let want = partition(&ddg, inst, &HashSet::new());
+                prop_assert_eq!(got, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_all_of_nothing_is_empty() {
+        let ddg = Ddg::synthetic(vec![SyntheticNode {
+            inst: InstId(1),
+            addr: 0,
+            class: SyntheticClass::Candidate,
+            writers: vec![EXTERNAL],
+        }]);
+        assert!(partition_all(&ddg, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn partition_all_handles_duplicate_insts() {
+        let ddg = Ddg::synthetic(vec![
+            SyntheticNode {
+                inst: InstId(1),
+                addr: 0,
+                class: SyntheticClass::Candidate,
+                writers: vec![EXTERNAL],
+            },
+            SyntheticNode {
+                inst: InstId(1),
+                addr: 0,
+                class: SyntheticClass::Candidate,
+                writers: vec![0],
+            },
+        ]);
+        let insts = [InstId(1), InstId(1)];
+        let parts = partition_all(&ddg, &insts, &[]);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0], parts[1]);
+        assert_eq!(parts[0].groups.len(), 2);
     }
 }
 

@@ -140,8 +140,8 @@ pub fn render_inst_breakdown(report: &LoopReport) -> String {
     if h.total() > 0 {
         out.push_str("  vector-length histogram (ops per group-size bucket):\n");
         let labels = [
-            "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128-255", "256-511",
-            "512-1023", ">=1024",
+            "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128-255", "256-511", "512-1023",
+            ">=1024",
         ];
         for (label, &count) in labels.iter().zip(h.buckets.iter()) {
             if count > 0 {

@@ -89,10 +89,8 @@ pub fn analyze_partition(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Stride
 
 /// Sorted address tuples for the instances, with original node ids.
 fn sorted_tuples(ddg: &Ddg, nodes: &[u32]) -> Vec<(Vec<u64>, u32)> {
-    let mut tuples: Vec<(Vec<u64>, u32)> = nodes
-        .iter()
-        .map(|&n| (ddg.operand_addrs(n), n))
-        .collect();
+    let mut tuples: Vec<(Vec<u64>, u32)> =
+        nodes.iter().map(|&n| (ddg.operand_addrs(n), n)).collect();
     tuples.sort();
     tuples
 }

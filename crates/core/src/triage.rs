@@ -171,11 +171,26 @@ mod tests {
     #[test]
     fn verdict_classes() {
         let t = TriageThresholds::default();
-        assert_eq!(triage(&report(95.0, 100.0, 0.0, 0.0), &t), Verdict::AlreadyVectorized);
-        assert_eq!(triage(&report(0.0, 90.0, 0.0, 0.0), &t), Verdict::MissedOpportunity);
-        assert_eq!(triage(&report(0.0, 10.0, 60.0, 0.0), &t), Verdict::NeedsLayoutChange);
-        assert_eq!(triage(&report(0.0, 90.0, 0.0, 0.9), &t), Verdict::IrregularControl);
-        assert_eq!(triage(&report(0.0, 5.0, 5.0, 0.0), &t), Verdict::NoPotential);
+        assert_eq!(
+            triage(&report(95.0, 100.0, 0.0, 0.0), &t),
+            Verdict::AlreadyVectorized
+        );
+        assert_eq!(
+            triage(&report(0.0, 90.0, 0.0, 0.0), &t),
+            Verdict::MissedOpportunity
+        );
+        assert_eq!(
+            triage(&report(0.0, 10.0, 60.0, 0.0), &t),
+            Verdict::NeedsLayoutChange
+        );
+        assert_eq!(
+            triage(&report(0.0, 90.0, 0.0, 0.9), &t),
+            Verdict::IrregularControl
+        );
+        assert_eq!(
+            triage(&report(0.0, 5.0, 5.0, 0.0), &t),
+            Verdict::NoPotential
+        );
     }
 
     #[test]

@@ -129,11 +129,7 @@ impl Ddg {
     }
 
     /// Like [`Ddg::build`], but with an explicit [`CandidatePolicy`].
-    pub fn build_with_policy(
-        module: &Module,
-        trace: &Trace,
-        policy: CandidatePolicy,
-    ) -> Ddg {
+    pub fn build_with_policy(module: &Module, trace: &Trace, policy: CandidatePolicy) -> Ddg {
         let mut b = Builder::new(module);
         b.policy = policy;
         b.run(trace)
@@ -192,7 +188,10 @@ impl Ddg {
     /// Flow predecessors of node `n` (deduplicated not guaranteed; external
     /// operands skipped).
     pub fn preds(&self, n: u32) -> impl Iterator<Item = u32> + '_ {
-        self.operand_writers(n).iter().copied().filter(|&w| w != EXTERNAL)
+        self.operand_writers(n)
+            .iter()
+            .copied()
+            .filter(|&w| w != EXTERNAL)
     }
 
     /// Indices of candidate (FP arithmetic) nodes in execution order.
@@ -417,11 +416,19 @@ impl<'m> Builder<'m> {
     }
 
     fn plain(&mut self, inst_id: InstId, act: u32, addr: Option<u64>) {
-        let Some(inst) = self.module.expect("trace builder has a module").inst(inst_id) else {
+        let Some(inst) = self
+            .module
+            .expect("trace builder has a module")
+            .inst(inst_id)
+        else {
             return; // terminator or unknown: Ret handled separately
         };
         match &inst.kind {
-            InstKind::Load { dst, addr: addr_op, ty } => {
+            InstKind::Load {
+                dst,
+                addr: addr_op,
+                ty,
+            } => {
                 let a = addr.expect("load event carries an address");
                 let writers = vec![
                     self.writer_of(act, *addr_op),
@@ -431,7 +438,11 @@ impl<'m> Builder<'m> {
                 self.reg_writers.insert((act, dst.0), n);
                 let _ = ty;
             }
-            InstKind::Store { addr: addr_op, value, ty } => {
+            InstKind::Store {
+                addr: addr_op,
+                value,
+                ty,
+            } => {
                 let a = addr.expect("store event carries an address");
                 let writers = [self.writer_of(act, *addr_op), self.writer_of(act, *value)];
                 let n = self.push_node(inst_id, a, NodeClass::Store, &writers);
@@ -473,7 +484,11 @@ impl<'m> Builder<'m> {
     }
 
     fn call(&mut self, inst_id: InstId, act: u32, callee_act: u32) {
-        let Some(inst) = self.module.expect("trace builder has a module").inst(inst_id) else {
+        let Some(inst) = self
+            .module
+            .expect("trace builder has a module")
+            .inst(inst_id)
+        else {
             return;
         };
         let InstKind::Call { dst, callee, args } = &inst.kind else {
@@ -482,7 +497,10 @@ impl<'m> Builder<'m> {
         // Parameters in the callee activation are defined by the caller-side
         // producers of the arguments (no call node: dependences pass
         // through).
-        let callee_fn = self.module.expect("trace builder has a module").function(*callee);
+        let callee_fn = self
+            .module
+            .expect("trace builder has a module")
+            .function(*callee);
         for (i, arg) in args.iter().enumerate() {
             let w = self.writer_of(act, *arg);
             if w != EXTERNAL {
@@ -490,8 +508,7 @@ impl<'m> Builder<'m> {
                 self.reg_writers.insert((callee_act, param.0), w);
             }
         }
-        self.call_stack
-            .push((callee_act, act, dst.map(|d| d.0)));
+        self.call_stack.push((callee_act, act, dst.map(|d| d.0)));
     }
 
     fn ret(&mut self, inst_id: InstId, act: u32) {
@@ -618,7 +635,10 @@ mod tests {
             let mut stack: Vec<u32> = ddg.preds(c).collect();
             let mut seen = std::collections::HashSet::new();
             while let Some(n) = stack.pop() {
-                assert!(!ddg.is_candidate(n), "candidate {c} depends on candidate {n}");
+                assert!(
+                    !ddg.is_candidate(n),
+                    "candidate {c} depends on candidate {n}"
+                );
                 for p in ddg.preds(n) {
                     if seen.insert(p) {
                         stack.push(p);

@@ -338,10 +338,7 @@ impl Expr {
     /// The source position of the expression.
     pub fn pos(&self) -> Pos {
         match self {
-            Expr::IntLit(_, p)
-            | Expr::FloatLit(_, p)
-            | Expr::BoolLit(_, p)
-            | Expr::Var(_, p) => *p,
+            Expr::IntLit(_, p) | Expr::FloatLit(_, p) | Expr::BoolLit(_, p) | Expr::Var(_, p) => *p,
             Expr::Bin { pos, .. }
             | Expr::Un { pos, .. }
             | Expr::Index { pos, .. }

@@ -373,7 +373,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -409,8 +414,28 @@ mod tests {
         use Punct::*;
         let ks = kinds("+ ++ += - -- -> -= * *= / /= == = != ! < <= > >= && & %");
         let expect = [
-            Plus, PlusPlus, PlusAssign, Minus, MinusMinus, Arrow, MinusAssign, Star, StarAssign,
-            Slash, SlashAssign, Eq, Assign, Ne, Not, Lt, Le, Gt, Ge, AndAnd, Amp, Percent,
+            Plus,
+            PlusPlus,
+            PlusAssign,
+            Minus,
+            MinusMinus,
+            Arrow,
+            MinusAssign,
+            Star,
+            StarAssign,
+            Slash,
+            SlashAssign,
+            Eq,
+            Assign,
+            Ne,
+            Not,
+            Lt,
+            Le,
+            Gt,
+            Ge,
+            AndAnd,
+            Amp,
+            Percent,
         ];
         for (k, e) in ks.iter().zip(expect.iter()) {
             assert_eq!(k, &TokenKind::Punct(*e));

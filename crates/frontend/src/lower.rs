@@ -67,7 +67,11 @@ pub fn lower(name: &str, program: &Program) -> LResult<Module> {
         let gid = module.add_global(&g.name, size, elem_scalar);
         if let Some(init) = &g.init {
             let scalar = ty.scalar().ok_or_else(|| {
-                CompileError::new("only scalar globals may have initializers", g.pos.line, g.pos.col)
+                CompileError::new(
+                    "only scalar globals may have initializers",
+                    g.pos.line,
+                    g.pos.col,
+                )
             })?;
             let value = eval_const_num(&table, init)?;
             module.init_global(gid, 0, value, scalar);
@@ -104,11 +108,7 @@ fn eval_const_num(table: &TypeTable, expr: &Expr) -> LResult<f64> {
 }
 
 /// Resolves a function's signature and pre-declares it in the module.
-fn declare_function(
-    module: &mut Module,
-    table: &TypeTable,
-    f: &FuncDecl,
-) -> LResult<Declared> {
+fn declare_function(module: &mut Module, table: &TypeTable, f: &FuncDecl) -> LResult<Declared> {
     let ret_sem = table.resolve(&f.ret, f.pos.line, f.pos.col)?;
     let ret_ir = match &ret_sem {
         Ty::Void => None,
@@ -142,7 +142,10 @@ fn declare_function(
             Ty::Ptr(Box::new(pointee))
         };
         if sem.scalar().is_none() {
-            return err(format!("parameter `{}` must be scalar or pointer", p.name), p.pos);
+            return err(
+                format!("parameter `{}` must be scalar or pointer", p.name),
+                p.pos,
+            );
         }
         param_sems.push(sem);
     }
@@ -479,8 +482,8 @@ impl FnLowerer<'_, '_> {
                 dims,
             }
         };
-        let needs_memory = self.homed.contains(name)
-            || matches!(sem, Ty::Array { .. } | Ty::Struct(_));
+        let needs_memory =
+            self.homed.contains(name) || matches!(sem, Ty::Array { .. } | Ty::Struct(_));
         if needs_memory {
             let (size, align) = self
                 .table
@@ -489,7 +492,11 @@ impl FnLowerer<'_, '_> {
             let off = self.b.alloc_stack(size, align);
             if let Some(e) = init {
                 let scalar = sem.scalar().ok_or_else(|| {
-                    CompileError::new("aggregate initializers are not supported", pos.line, pos.col)
+                    CompileError::new(
+                        "aggregate initializers are not supported",
+                        pos.line,
+                        pos.col,
+                    )
                 })?;
                 let (v, vty) = self.lower_expr(e)?;
                 let v = self.coerce(v, &vty, &sem, e.pos())?;
@@ -945,7 +952,12 @@ impl FnLowerer<'_, '_> {
                     let v = self.lower_cond(e)?;
                     Ok((v, Ty::Bool))
                 }
-                BinKind::Eq | BinKind::Ne | BinKind::Lt | BinKind::Le | BinKind::Gt | BinKind::Ge => {
+                BinKind::Eq
+                | BinKind::Ne
+                | BinKind::Lt
+                | BinKind::Le
+                | BinKind::Gt
+                | BinKind::Ge => {
                     let (lv, lty) = self.lower_expr(lhs)?;
                     let (rv, rty) = self.lower_expr(rhs)?;
                     let v = self.lower_comparison(*op, lv, lty, rv, rty, pos)?;
@@ -1019,7 +1031,12 @@ impl FnLowerer<'_, '_> {
         let common = self.common_numeric(&lty, &rty, pos)?;
         let lv = self.coerce(lv, &lty, &common, pos)?;
         let rv = self.coerce(rv, &rty, &common, pos)?;
-        Ok(Value::Reg(self.b.cmp(cmp, common.scalar().unwrap(), lv, rv)))
+        Ok(Value::Reg(self.b.cmp(
+            cmp,
+            common.scalar().unwrap(),
+            lv,
+            rv,
+        )))
     }
 
     fn numeric_bin(
@@ -1097,10 +1114,7 @@ impl FnLowerer<'_, '_> {
                     _ => unreachable!(),
                 })
             }
-            _ => err(
-                format!("operands are not numeric: {a:?} vs {b:?}"),
-                pos,
-            ),
+            _ => err(format!("operands are not numeric: {a:?} vs {b:?}"), pos),
         }
     }
 
@@ -1203,7 +1217,12 @@ impl FnLowerer<'_, '_> {
                     ))),
                     Ty::F32 | Ty::F64 => {
                         let s = ty.scalar().unwrap();
-                        Ok(Value::Reg(self.b.cmp(CmpOp::Ne, s, v, Value::ImmFloat(0.0))))
+                        Ok(Value::Reg(self.b.cmp(
+                            CmpOp::Ne,
+                            s,
+                            v,
+                            Value::ImmFloat(0.0),
+                        )))
                     }
                     other => err(format!("{other:?} is not a valid condition"), pos),
                 }
@@ -1221,7 +1240,11 @@ impl FnLowerer<'_, '_> {
         if let Some(intr) = Intrinsic::from_name(name) {
             if args.len() != intr.arity() {
                 return err(
-                    format!("`{name}` takes {} arguments, got {}", intr.arity(), args.len()),
+                    format!(
+                        "`{name}` takes {} arguments, got {}",
+                        intr.arity(),
+                        args.len()
+                    ),
                     *pos,
                 );
             }
@@ -1260,7 +1283,11 @@ impl FnLowerer<'_, '_> {
         for (a, want) in args.iter().zip(&param_tys) {
             let (v, ty) = self.lower_expr(a)?;
             let have = ty.scalar().ok_or_else(|| {
-                CompileError::new("aggregate call arguments are not supported", pos.line, pos.col)
+                CompileError::new(
+                    "aggregate call arguments are not supported",
+                    pos.line,
+                    pos.col,
+                )
             })?;
             let v = if have == *want {
                 v

@@ -705,8 +705,18 @@ mod tests {
         // a + b * c parses as a + (b * c)
         let e = parse_expr_str("a + b * c");
         match e {
-            Expr::Bin { op: BinKind::Add, rhs, .. } => {
-                assert!(matches!(*rhs, Expr::Bin { op: BinKind::Mul, .. }));
+            Expr::Bin {
+                op: BinKind::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    *rhs,
+                    Expr::Bin {
+                        op: BinKind::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -715,14 +725,26 @@ mod tests {
     #[test]
     fn comparison_binds_looser_than_arith() {
         let e = parse_expr_str("i < n + 1");
-        assert!(matches!(e, Expr::Bin { op: BinKind::Lt, .. }));
+        assert!(matches!(
+            e,
+            Expr::Bin {
+                op: BinKind::Lt,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn logical_ops() {
         let e = parse_expr_str("a == 0 || b == 1 && c < 2");
         // || at top (lowest precedence)
-        assert!(matches!(e, Expr::Bin { op: BinKind::Or, .. }));
+        assert!(matches!(
+            e,
+            Expr::Bin {
+                op: BinKind::Or,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -736,15 +758,31 @@ mod tests {
     #[test]
     fn cast_expression() {
         let e = parse_expr_str("(double)n");
-        assert!(matches!(e, Expr::Cast { ty: TypeExpr::Double, .. }));
+        assert!(matches!(
+            e,
+            Expr::Cast {
+                ty: TypeExpr::Double,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn unary_chain() {
         let e = parse_expr_str("-*p");
         match e {
-            Expr::Un { op: UnKind::Neg, expr, .. } => {
-                assert!(matches!(*expr, Expr::Un { op: UnKind::Deref, .. }));
+            Expr::Un {
+                op: UnKind::Neg,
+                expr,
+                ..
+            } => {
+                assert!(matches!(
+                    *expr,
+                    Expr::Un {
+                        op: UnKind::Deref,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -794,9 +832,8 @@ mod tests {
 
     #[test]
     fn if_else_chain() {
-        let p = parse_prog(
-            "void f(int i) { if (i == 0) { } else if (i == 1) { } else { i = 2; } }",
-        );
+        let p =
+            parse_prog("void f(int i) { if (i == 0) { } else if (i == 1) { } else { i = 2; } }");
         let f = &p.funcs[0];
         match &f.body[0] {
             Stmt::If { else_body, .. } => {

@@ -134,9 +134,9 @@ impl TypeTable {
                     dims,
                 }
             };
-            let (size, falign) = self.size_align(&ty).map_err(|msg| {
-                CompileError::new(msg, f.pos.line, f.pos.col)
-            })?;
+            let (size, falign) = self
+                .size_align(&ty)
+                .map_err(|msg| CompileError::new(msg, f.pos.line, f.pos.col))?;
             offset = offset.div_ceil(falign) * falign;
             fields.push((f.name.clone(), ty, offset));
             offset += size;
@@ -306,7 +306,10 @@ mod tests {
         // struct complex { double r; double i; } — the milc element type.
         let decl = StructDecl {
             name: "complex".into(),
-            fields: vec![fd(TypeExpr::Double, "r", vec![]), fd(TypeExpr::Double, "i", vec![])],
+            fields: vec![
+                fd(TypeExpr::Double, "r", vec![]),
+                fd(TypeExpr::Double, "i", vec![]),
+            ],
             pos: Pos::default(),
         };
         let table = TypeTable::build(&[decl], HashMap::new()).unwrap();
@@ -321,7 +324,10 @@ mod tests {
         // struct su3_matrix { complex e[3][3]; } — 3*3*16 = 144 bytes.
         let complex = StructDecl {
             name: "complex".into(),
-            fields: vec![fd(TypeExpr::Double, "r", vec![]), fd(TypeExpr::Double, "i", vec![])],
+            fields: vec![
+                fd(TypeExpr::Double, "r", vec![]),
+                fd(TypeExpr::Double, "i", vec![]),
+            ],
             pos: Pos::default(),
         };
         let matrix = StructDecl {
@@ -329,7 +335,10 @@ mod tests {
             fields: vec![fd(
                 TypeExpr::Struct("complex".into()),
                 "e",
-                vec![Expr::IntLit(3, Pos::default()), Expr::IntLit(3, Pos::default())],
+                vec![
+                    Expr::IntLit(3, Pos::default()),
+                    Expr::IntLit(3, Pos::default()),
+                ],
             )],
             pos: Pos::default(),
         };
@@ -342,7 +351,10 @@ mod tests {
         // struct { float x; float y; } is 8 bytes, align 4.
         let decl = StructDecl {
             name: "pt".into(),
-            fields: vec![fd(TypeExpr::Float, "x", vec![]), fd(TypeExpr::Float, "y", vec![])],
+            fields: vec![
+                fd(TypeExpr::Float, "x", vec![]),
+                fd(TypeExpr::Float, "y", vec![]),
+            ],
             pos: Pos::default(),
         };
         let table = TypeTable::build(&[decl], HashMap::new()).unwrap();
@@ -356,7 +368,10 @@ mod tests {
         // struct { float x; double d; } -> x at 0, d at 8, size 16.
         let decl = StructDecl {
             name: "m".into(),
-            fields: vec![fd(TypeExpr::Float, "x", vec![]), fd(TypeExpr::Double, "d", vec![])],
+            fields: vec![
+                fd(TypeExpr::Float, "x", vec![]),
+                fd(TypeExpr::Double, "d", vec![]),
+            ],
             pos: Pos::default(),
         };
         let table = TypeTable::build(&[decl], HashMap::new()).unwrap();
@@ -390,9 +405,7 @@ mod tests {
         let table = TypeTable::default();
         let p = Pos::default();
         assert!(table.eval_const(&Expr::Var("x".into(), p)).is_err());
-        assert!(table
-            .eval_const_usize(&Expr::IntLit(0, p))
-            .is_err());
+        assert!(table.eval_const_usize(&Expr::IntLit(0, p)).is_err());
     }
 
     #[test]

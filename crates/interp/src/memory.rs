@@ -104,9 +104,7 @@ impl Memory {
         match ty {
             ScalarTy::F64 => f64::from_le_bytes(self.read_array::<8>(addr)),
             ScalarTy::F32 => f32::from_le_bytes(self.read_array::<4>(addr)) as f64,
-            ScalarTy::I64 | ScalarTy::Ptr => {
-                i64::from_le_bytes(self.read_array::<8>(addr)) as f64
-            }
+            ScalarTy::I64 | ScalarTy::Ptr => i64::from_le_bytes(self.read_array::<8>(addr)) as f64,
         }
     }
 
@@ -128,9 +126,7 @@ impl Memory {
         match ty {
             ScalarTy::F64 => self.write_bytes(addr, &value.to_le_bytes()),
             ScalarTy::F32 => self.write_bytes(addr, &(value as f32).to_le_bytes()),
-            ScalarTy::I64 | ScalarTy::Ptr => {
-                self.write_bytes(addr, &(value as i64).to_le_bytes())
-            }
+            ScalarTy::I64 | ScalarTy::Ptr => self.write_bytes(addr, &(value as i64).to_le_bytes()),
         }
     }
 

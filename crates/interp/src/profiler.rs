@@ -139,8 +139,7 @@ impl Profiler {
         threshold_pct: f64,
     ) -> Vec<HotLoop> {
         let profiles = self.profiles(module, forests);
-        let by_key: HashMap<LoopKey, &LoopProfile> =
-            profiles.iter().map(|p| (p.key, p)).collect();
+        let by_key: HashMap<LoopKey, &LoopProfile> = profiles.iter().map(|p| (p.key, p)).collect();
         let mut hot = Vec::new();
         for p in &profiles {
             let forest = &forests[p.key.func.index()];

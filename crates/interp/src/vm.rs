@@ -148,6 +148,19 @@ struct Capture {
     start_depth: usize,
 }
 
+impl Capture {
+    fn new(spec: CaptureSpec, label: &str) -> Self {
+        Capture {
+            spec,
+            trace: Trace::new(label),
+            active: matches!(spec, CaptureSpec::Program),
+            done: false,
+            seen: 0,
+            start_depth: 0,
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Frame {
     func: FuncId,
@@ -170,7 +183,7 @@ pub struct Vm<'m> {
     profiler: Profiler,
     options: VmOptions,
     fuel_used: u64,
-    capture: Option<Capture>,
+    captures: Vec<Capture>,
     next_activation: u32,
     inst_counts: Vec<u64>,
     branch_taken: Vec<u64>,
@@ -195,7 +208,7 @@ impl<'m> Vm<'m> {
             profiler: Profiler::new(),
             options,
             fuel_used: 0,
-            capture: None,
+            captures: Vec::new(),
             next_activation: 0,
             inst_counts,
             branch_taken,
@@ -242,20 +255,45 @@ impl<'m> Vm<'m> {
     }
 
     /// Arms trace capture; call before [`Vm::run`].
+    ///
+    /// Replaces any previously armed captures with this single one. To
+    /// record several sub-traces in one execution, follow with
+    /// [`Vm::add_capture`].
     pub fn set_capture(&mut self, spec: CaptureSpec, label: &str) {
-        self.capture = Some(Capture {
-            spec,
-            trace: Trace::new(label),
-            active: matches!(spec, CaptureSpec::Program),
-            done: false,
-            seen: 0,
-            start_depth: 0,
-        });
+        self.captures = vec![Capture::new(spec, label)];
+    }
+
+    /// Arms an additional capture alongside those already armed.
+    ///
+    /// All armed captures record simultaneously during the next
+    /// [`Vm::run`]: one execution can yield sub-traces for several
+    /// (loop, instance) targets, so the driver never has to replay the
+    /// program once per target.
+    pub fn add_capture(&mut self, spec: CaptureSpec, label: &str) {
+        self.captures.push(Capture::new(spec, label));
     }
 
     /// Takes the captured trace, if capture was armed and fired.
+    ///
+    /// With several armed captures this returns the first; use
+    /// [`Vm::take_traces`] to collect all of them.
     pub fn take_trace(&mut self) -> Option<Trace> {
-        self.capture.take().map(|c| c.trace)
+        if self.captures.is_empty() {
+            None
+        } else {
+            Some(self.captures.remove(0).trace)
+        }
+    }
+
+    /// Takes every captured trace, in the order the captures were armed.
+    ///
+    /// Captures that never fired yield their (empty) traces too, so the
+    /// result lines up index-for-index with the arming calls.
+    pub fn take_traces(&mut self) -> Vec<Trace> {
+        std::mem::take(&mut self.captures)
+            .into_iter()
+            .map(|c| c.trace)
+            .collect()
     }
 
     /// Reads element `index` of a scalar-element global by name.
@@ -269,7 +307,9 @@ impl<'m> Vm<'m> {
             .lookup_global(name)
             .unwrap_or_else(|| panic!("no global `{name}`"));
         let g = self.module.global(gid);
-        let ty = g.elem_ty.unwrap_or_else(|| panic!("global `{name}` is opaque"));
+        let ty = g
+            .elem_ty
+            .unwrap_or_else(|| panic!("global `{name}` is opaque"));
         let addr = self.mem.global_base(gid) + index * ty.size();
         self.mem.read_scalar(addr, ty)
     }
@@ -322,17 +362,18 @@ impl<'m> Vm<'m> {
 
                 // Calls need frame manipulation; handle them out of line.
                 if let InstKind::Call { dst, callee, args } = &inst.kind {
-                    let argv: Vec<RtVal> = args
-                        .iter()
-                        .map(|a| Self::value_in(frame, *a))
-                        .collect();
+                    let argv: Vec<RtVal> = args.iter().map(|a| Self::value_in(frame, *a)).collect();
                     let inst_id = inst.id;
                     let dst = *dst;
                     let callee = *callee;
                     frame.ip += 1;
                     let caller_activation = frame.activation;
                     let callee_activation = self.next_activation;
-                    self.emit(TraceEvent::call(inst_id, caller_activation, callee_activation));
+                    self.emit(TraceEvent::call(
+                        inst_id,
+                        caller_activation,
+                        callee_activation,
+                    ));
                     self.push_frame(&mut frames, callee, &argv, dst)?;
                     // Function-capture activation check.
                     self.check_function_capture(&frames);
@@ -345,7 +386,13 @@ impl<'m> Vm<'m> {
                 };
                 let mut mem_addr: Option<u64> = None;
                 match &inst.kind {
-                    InstKind::Bin { op, ty, dst, lhs, rhs } => {
+                    InstKind::Bin {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => {
                         let a = Self::value_in(frame, *lhs);
                         let b = Self::value_in(frame, *rhs);
                         let r = Self::eval_bin(*op, *ty, a, b).map_err(trap)?;
@@ -365,7 +412,13 @@ impl<'m> Vm<'m> {
                             }
                         };
                     }
-                    InstKind::Cmp { op, ty, dst, lhs, rhs } => {
+                    InstKind::Cmp {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => {
                         let a = Self::value_in(frame, *lhs);
                         let b = Self::value_in(frame, *rhs);
                         let r = Self::eval_cmp(*op, *ty, a, b);
@@ -378,7 +431,10 @@ impl<'m> Vm<'m> {
                     InstKind::Load { dst, ty, addr } => {
                         let a = Self::value_in(frame, *addr).as_int() as u64;
                         if !self.mem.check(a, ty.size()) {
-                            return Err(trap(format!("load of {} bytes at {a:#x} out of bounds", ty.size())));
+                            return Err(trap(format!(
+                                "load of {} bytes at {a:#x} out of bounds",
+                                ty.size()
+                            )));
                         }
                         mem_addr = Some(a);
                         frame.regs[dst.index()] = match ty {
@@ -389,7 +445,10 @@ impl<'m> Vm<'m> {
                     InstKind::Store { ty, addr, value } => {
                         let a = Self::value_in(frame, *addr).as_int() as u64;
                         if !self.mem.check(a, ty.size()) {
-                            return Err(trap(format!("store of {} bytes at {a:#x} out of bounds", ty.size())));
+                            return Err(trap(format!(
+                                "store of {} bytes at {a:#x} out of bounds",
+                                ty.size()
+                            )));
                         }
                         mem_addr = Some(a);
                         let v = Self::value_in(frame, *value);
@@ -398,7 +457,12 @@ impl<'m> Vm<'m> {
                             _ => self.mem.write_scalar(a, v.as_float(), *ty),
                         }
                     }
-                    InstKind::Gep { dst, base, indices, offset } => {
+                    InstKind::Gep {
+                        dst,
+                        base,
+                        indices,
+                        offset,
+                    } => {
                         let mut addr = Self::value_in(frame, *base).as_int();
                         for (idx, scale) in indices {
                             let i = Self::value_in(frame, *idx).as_int();
@@ -407,7 +471,12 @@ impl<'m> Vm<'m> {
                         addr = addr.wrapping_add(*offset);
                         frame.regs[dst.index()] = RtVal::Int(addr);
                     }
-                    InstKind::Intrin { dst, which, ty, args } => {
+                    InstKind::Intrin {
+                        dst,
+                        which,
+                        ty,
+                        args,
+                    } => {
                         let xs: Vec<f64> = args
                             .iter()
                             .map(|a| Self::value_in(frame, *a).as_float())
@@ -420,8 +489,7 @@ impl<'m> Vm<'m> {
                         });
                     }
                     InstKind::FrameAddr { dst, offset } => {
-                        frame.regs[dst.index()] =
-                            RtVal::Int((frame.frame_base + offset) as i64);
+                        frame.regs[dst.index()] = RtVal::Int((frame.frame_base + offset) as i64);
                     }
                     InstKind::GlobalAddr { dst, global } => {
                         frame.regs[dst.index()] = RtVal::Int(self.mem.global_base(*global) as i64);
@@ -447,7 +515,8 @@ impl<'m> Vm<'m> {
                     func: frame.func,
                     loop_id: l,
                 });
-            self.profiler.charge(loop_key, self.options.cost.term_cost(&term.kind));
+            self.profiler
+                .charge(loop_key, self.options.cost.term_cost(&term.kind));
 
             match term.kind {
                 TermKind::Br(target) => {
@@ -458,7 +527,11 @@ impl<'m> Vm<'m> {
                     let _ = act;
                     self.note_transition(func, prev, target, depth);
                 }
-                TermKind::CondBr { cond, then_bb, else_bb } => {
+                TermKind::CondBr {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let c = Self::value_in(frame, cond).as_int();
                     if c != 0 {
                         self.branch_taken[term.id.index()] += 1;
@@ -476,12 +549,14 @@ impl<'m> Vm<'m> {
                     let frame_base = frame.frame_base;
                     let ret_dst = frame.ret_dst;
                     // Loop capture ends if the starting frame returns.
-                    if let Some(c) = &mut self.capture {
-                        if c.active && depth == c.start_depth
-                            && !matches!(c.spec, CaptureSpec::Program) {
-                                c.active = false;
-                                c.done = true;
-                            }
+                    for c in &mut self.captures {
+                        if c.active
+                            && depth == c.start_depth
+                            && !matches!(c.spec, CaptureSpec::Program)
+                        {
+                            c.active = false;
+                            c.done = true;
+                        }
                     }
                     self.emit(TraceEvent::ret(term.id, activation));
                     self.mem.pop_frame(frame_base);
@@ -494,7 +569,7 @@ impl<'m> Vm<'m> {
                             }
                             // Function capture: deactivate when leaving the
                             // captured activation's depth.
-                            if let Some(c) = &mut self.capture {
+                            for c in &mut self.captures {
                                 if c.active
                                     && matches!(c.spec, CaptureSpec::Function { .. })
                                     && frames.len() < c.start_depth
@@ -568,9 +643,9 @@ impl<'m> Vm<'m> {
             self.profiler.record_entry(LoopKey { func, loop_id: id });
         }
 
-        if let Some(c) = &mut self.capture {
+        for c in &mut self.captures {
             if c.done {
-                return;
+                continue;
             }
             if let CaptureSpec::Loop {
                 func: cf,
@@ -581,10 +656,7 @@ impl<'m> Vm<'m> {
                 if c.active {
                     // Exit: back in the start frame, moving to a block
                     // outside the loop.
-                    if depth == c.start_depth
-                        && cf == func
-                        && !self.forests[func.index()].get(loop_id).contains(cur)
-                    {
+                    if depth == c.start_depth && cf == func && !forest.get(loop_id).contains(cur) {
                         c.active = false;
                         c.done = true;
                     }
@@ -601,9 +673,9 @@ impl<'m> Vm<'m> {
 
     /// Activates function capture when the just-pushed frame matches.
     fn check_function_capture(&mut self, frames: &[Frame]) {
-        if let Some(c) = &mut self.capture {
+        for c in &mut self.captures {
             if c.done || c.active {
-                return;
+                continue;
             }
             if let CaptureSpec::Function { func, instance } = c.spec {
                 if frames.last().map(|f| f.func) == Some(func) {
@@ -618,7 +690,7 @@ impl<'m> Vm<'m> {
     }
 
     fn emit(&mut self, event: TraceEvent) {
-        if let Some(c) = &mut self.capture {
+        for c in &mut self.captures {
             if c.active {
                 c.trace.push(event);
             }

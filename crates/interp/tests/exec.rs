@@ -4,7 +4,6 @@
 use vectorscope_frontend::compile;
 use vectorscope_interp::{CaptureSpec, Vm, VmError, VmOptions};
 
-
 /// Compiles and runs `main`, returning the VM for inspection.
 macro_rules! run {
     ($src:expr) => {{
@@ -83,7 +82,10 @@ fn pointer_traversal_matches_array() {
     "#;
     let vm = run!(src);
     assert_eq!(vm.read_global("s_arr", 0), vm.read_global("s_ptr", 0));
-    assert_eq!(vm.read_global("s_arr", 0), (0..32).map(|i| i as f64 * 0.5).sum());
+    assert_eq!(
+        vm.read_global("s_arr", 0),
+        (0..32).map(|i| i as f64 * 0.5).sum()
+    );
 }
 
 #[test]
@@ -259,9 +261,15 @@ fn gauss_seidel_semantics_match_rust() {
     for _ in 0..t {
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                a[i][j] = (a[i - 1][j - 1] + a[i - 1][j] + a[i - 1][j + 1]
-                    + a[i][j - 1] + a[i][j] + a[i][j + 1]
-                    + a[i + 1][j - 1] + a[i + 1][j] + a[i + 1][j + 1])
+                a[i][j] = (a[i - 1][j - 1]
+                    + a[i - 1][j]
+                    + a[i - 1][j + 1]
+                    + a[i][j - 1]
+                    + a[i][j]
+                    + a[i][j + 1]
+                    + a[i + 1][j - 1]
+                    + a[i + 1][j]
+                    + a[i + 1][j + 1])
                     * cnst;
             }
         }
@@ -465,7 +473,6 @@ fn program_capture_covers_everything() {
     assert!(trace.len() >= 2); // at least the fadd and the store
 }
 
-
 #[test]
 fn function_capture_selects_one_activation() {
     let src = r#"
@@ -664,4 +671,94 @@ fn fuel_and_cost_model_are_observable() {
     );
     vm2.run_main().unwrap();
     assert!(vm2.profiler().total_cycles() > vm.profiler().total_cycles() + 900);
+}
+
+#[test]
+fn multi_capture_matches_single_capture_runs() {
+    let src = r#"
+        const int N = 12;
+        double a[N];
+        void main() {
+            for (int r = 0; r < 4; r++) {
+                for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; }
+            }
+        }
+    "#;
+    let module = compile("multi.kern", src).unwrap();
+    let main = module.lookup_function("main").unwrap();
+    let probe = Vm::new(&module);
+    let forest = &probe.forests()[main.index()];
+    let (outer_id, _) = forest.iter().find(|(_, l)| l.depth == 1).expect("outer");
+    let (inner_id, _) = forest.iter().find(|(_, l)| l.depth == 2).expect("inner");
+    drop(probe);
+
+    // Reference: one capture per execution.
+    let mut reference = Vec::new();
+    let specs = [
+        CaptureSpec::Loop {
+            func: main,
+            loop_id: inner_id,
+            instance: 0,
+        },
+        CaptureSpec::Loop {
+            func: main,
+            loop_id: inner_id,
+            instance: 2,
+        },
+        CaptureSpec::Loop {
+            func: main,
+            loop_id: outer_id,
+            instance: 0,
+        },
+        CaptureSpec::Program,
+        CaptureSpec::Function {
+            func: main,
+            instance: 0,
+        },
+    ];
+    for spec in specs {
+        let mut vm = Vm::new(&module);
+        vm.set_capture(spec, "single");
+        vm.run_main().unwrap();
+        reference.push(vm.take_trace().unwrap());
+    }
+
+    // Fused: all five captures armed on one execution.
+    let mut vm = Vm::new(&module);
+    for spec in specs {
+        vm.add_capture(spec, "single");
+    }
+    vm.run_main().unwrap();
+    let traces = vm.take_traces();
+    assert_eq!(traces.len(), specs.len());
+    for (i, (got, want)) in traces.iter().zip(&reference).enumerate() {
+        assert!(!want.is_empty(), "reference capture {i} fired");
+        assert_eq!(
+            got.events(),
+            want.events(),
+            "fused capture {i} ({:?}) diverges from its single-capture run",
+            specs[i]
+        );
+    }
+}
+
+#[test]
+fn set_capture_replaces_armed_captures() {
+    let src = r#"
+        const int N = 4;
+        double a[N];
+        void main() {
+            for (int i = 0; i < N; i++) { a[i] = 1.0; }
+        }
+    "#;
+    let module = compile("replace.kern", src).unwrap();
+    let mut vm = Vm::new(&module);
+    vm.add_capture(CaptureSpec::Program, "first");
+    vm.add_capture(CaptureSpec::Program, "second");
+    vm.set_capture(CaptureSpec::Program, "only");
+    vm.run_main().unwrap();
+    let traces = vm.take_traces();
+    assert_eq!(traces.len(), 1);
+    assert!(!traces[0].is_empty());
+    assert!(vm.take_trace().is_none());
 }

@@ -1,7 +1,5 @@
 use crate::func::{Block, BlockId, Function};
-use crate::inst::{
-    BinOp, CmpOp, Inst, InstKind, Intrinsic, Span, TermKind, Terminator, UnOp,
-};
+use crate::inst::{BinOp, CmpOp, Inst, InstKind, Intrinsic, Span, TermKind, Terminator, UnOp};
 use crate::module::{FuncId, Module};
 use crate::types::ScalarTy;
 use crate::value::{RegId, Value};
@@ -106,7 +104,6 @@ impl<'m> FunctionBuilder<'m> {
 
     /// Allocates a fresh named register (name kept for diagnostics).
     pub fn new_named_reg(&mut self, ty: ScalarTy, name: &str) -> RegId {
-        
         self.func.add_reg(ty, Some(name.to_string()))
     }
 
@@ -167,13 +164,25 @@ impl<'m> FunctionBuilder<'m> {
     /// Emits `dst = lhs <op> rhs` into a fresh register and returns it.
     pub fn binop(&mut self, op: BinOp, ty: ScalarTy, lhs: Value, rhs: Value) -> RegId {
         let dst = self.new_reg(ty);
-        self.emit(InstKind::Bin { op, ty, dst, lhs, rhs });
+        self.emit(InstKind::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
     /// Emits `dst = lhs <op> rhs` into the existing register `dst`.
     pub fn binop_into(&mut self, dst: RegId, op: BinOp, ty: ScalarTy, lhs: Value, rhs: Value) {
-        self.emit(InstKind::Bin { op, ty, dst, lhs, rhs });
+        self.emit(InstKind::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
     }
 
     /// Emits a unary operation into a fresh register.
@@ -186,7 +195,13 @@ impl<'m> FunctionBuilder<'m> {
     /// Emits a comparison producing an `i64` 0/1 into a fresh register.
     pub fn cmp(&mut self, op: CmpOp, ty: ScalarTy, lhs: Value, rhs: Value) -> RegId {
         let dst = self.new_reg(ScalarTy::I64);
-        self.emit(InstKind::Cmp { op, ty, dst, lhs, rhs });
+        self.emit(InstKind::Cmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -301,7 +316,13 @@ impl<'m> FunctionBuilder<'m> {
 
     /// Emits a comparison into the existing register `dst`.
     pub fn cmp_into(&mut self, dst: RegId, op: CmpOp, ty: ScalarTy, lhs: Value, rhs: Value) {
-        self.emit(InstKind::Cmp { op, ty, dst, lhs, rhs });
+        self.emit(InstKind::Cmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
     }
 
     /// Emits a conversion into the existing register `dst`.
@@ -339,13 +360,7 @@ impl<'m> FunctionBuilder<'m> {
     /// # Panics
     ///
     /// Panics if the argument count does not match [`Intrinsic::arity`].
-    pub fn intrinsic_into(
-        &mut self,
-        dst: RegId,
-        which: Intrinsic,
-        ty: ScalarTy,
-        args: Vec<Value>,
-    ) {
+    pub fn intrinsic_into(&mut self, dst: RegId, which: Intrinsic, ty: ScalarTy, args: Vec<Value>) {
         assert_eq!(args.len(), which.arity(), "bad arity for {}", which.name());
         self.emit(InstKind::Intrin {
             dst,
@@ -448,7 +463,12 @@ mod tests {
         let mut m = Module::new("m");
         let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
         b.set_span(Span::new(42, 3));
-        let r = b.binop(BinOp::IAdd, ScalarTy::I64, Value::ImmInt(1), Value::ImmInt(2));
+        let r = b.binop(
+            BinOp::IAdd,
+            ScalarTy::I64,
+            Value::ImmInt(1),
+            Value::ImmInt(2),
+        );
         let _ = r;
         b.ret(None);
         let f = b.finish();

@@ -1,10 +1,9 @@
 use crate::inst::{Inst, Terminator};
 use crate::types::ScalarTy;
 use crate::value::RegId;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a basic block, scoped to a [`Function`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -21,7 +20,7 @@ impl std::fmt::Display for BlockId {
 }
 
 /// Metadata about a virtual register.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegInfo {
     /// The register's scalar type.
     pub ty: ScalarTy,
@@ -30,7 +29,7 @@ pub struct RegInfo {
 }
 
 /// A basic block: straight-line instructions plus a terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// The block's instructions in execution order.
     pub insts: Vec<Inst>,
@@ -67,7 +66,7 @@ impl Default for Block {
 }
 
 /// A function: a register file, a stack frame layout, and a CFG of blocks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Function {
     name: String,
     params: Vec<RegId>,

@@ -2,14 +2,13 @@ use crate::func::BlockId;
 use crate::module::FuncId;
 use crate::types::ScalarTy;
 use crate::value::{RegId, Value};
-use serde::{Deserialize, Serialize};
 
 /// Module-unique identifier of a *static instruction*.
 ///
 /// This is the key the dynamic analysis partitions by: every trace event
 /// names the static instruction it is an instance of, and Algorithm 1 of the
 /// paper computes per-static-instruction timestamps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstId(pub u32);
 
 impl InstId {
@@ -29,7 +28,7 @@ impl std::fmt::Display for InstId {
 ///
 /// Reports identify loops the way the paper's tables do — `file : line` —
 /// so spans flow from the frontend all the way into rendered tables.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Span {
     /// 1-based source line; 0 when synthesized.
     pub line: u32,
@@ -58,7 +57,7 @@ impl std::fmt::Display for Span {
 /// The `F*` variants on floating-point types are the *candidate
 /// instructions* of the analysis (paper §3): they are the operations with
 /// vector counterparts in SIMD instruction sets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     /// Integer addition.
     IAdd,
@@ -104,7 +103,7 @@ impl BinOp {
 }
 
 /// Unary operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Integer negation.
     INeg,
@@ -123,7 +122,7 @@ impl UnOp {
 }
 
 /// Comparison predicates; the result is an `i64` holding 0 or 1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -158,7 +157,7 @@ impl CmpOp {
 /// These execute as single IR instructions (like LLVM intrinsics). They
 /// participate in dependences but are not candidate instructions, matching
 /// the paper's restriction of characterization to FP add/sub/mul/div.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Intrinsic {
     /// `e^x`.
     Exp,
@@ -227,7 +226,7 @@ impl Intrinsic {
 
 /// A non-terminator instruction: a static instruction id, a source span, and
 /// the operation itself.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Inst {
     /// Module-unique static instruction id.
     pub id: InstId,
@@ -238,7 +237,7 @@ pub struct Inst {
 }
 
 /// The operation performed by an [`Inst`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum InstKind {
     /// `dst = lhs <op> rhs` on values of type `ty`.
     Bin {
@@ -432,7 +431,7 @@ impl Inst {
 /// Terminators are traced (for cycle accounting) but never create
 /// data-dependence *sources*: they define no values, and control dependences
 /// are deliberately excluded from the DDG (paper §3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Terminator {
     /// Module-unique static instruction id.
     pub id: InstId,
@@ -443,7 +442,7 @@ pub struct Terminator {
 }
 
 /// The control transfer performed by a [`Terminator`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TermKind {
     /// Unconditional branch.
     Br(BlockId),

@@ -66,9 +66,7 @@ pub mod verify;
 
 pub use builder::FunctionBuilder;
 pub use func::{Block, BlockId, Function, RegInfo};
-pub use inst::{
-    BinOp, CmpOp, Inst, InstId, InstKind, Intrinsic, Span, TermKind, Terminator, UnOp,
-};
+pub use inst::{BinOp, CmpOp, Inst, InstId, InstKind, Intrinsic, Span, TermKind, Terminator, UnOp};
 pub use module::{FuncId, Global, GlobalId, InstLoc, Module};
 pub use types::ScalarTy;
 pub use value::{RegId, Value};

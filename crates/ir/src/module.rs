@@ -1,11 +1,10 @@
 use crate::func::{BlockId, Function};
 use crate::inst::{Inst, InstId, Span, Terminator};
 use crate::types::ScalarTy;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a function within a [`Module`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FuncId(pub u32);
 
 impl FuncId {
@@ -16,7 +15,7 @@ impl FuncId {
 }
 
 /// Identifier of a global within a [`Module`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct GlobalId(pub u32);
 
 impl GlobalId {
@@ -28,7 +27,7 @@ impl GlobalId {
 
 /// A statically allocated memory object (array, struct, or scalar with a
 /// memory home).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Global {
     /// Source-level name.
     pub name: String,
@@ -45,7 +44,7 @@ pub struct Global {
 /// Location of a static instruction: function, block, and position.
 ///
 /// Terminators use `index == block.insts.len()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstLoc {
     /// The containing function.
     pub func: FuncId,
@@ -69,13 +68,12 @@ pub struct InstLoc {
 /// let main = b.finish();
 /// assert_eq!(module.lookup_function("main"), Some(main));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Module {
     name: String,
     funcs: Vec<Function>,
     globals: Vec<Global>,
     next_inst_id: u32,
-    #[serde(skip)]
     inst_locs: std::sync::OnceLock<HashMap<InstId, InstLoc>>,
 }
 
@@ -328,7 +326,12 @@ mod tests {
         let mut m = Module::new("m");
         let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::F64], Some(ScalarTy::F64));
         let p = b.param(0);
-        let r = b.binop(BinOp::FAdd, ScalarTy::F64, Value::Reg(p), Value::ImmFloat(1.0));
+        let r = b.binop(
+            BinOp::FAdd,
+            ScalarTy::F64,
+            Value::Reg(p),
+            Value::ImmFloat(1.0),
+        );
         b.ret(Some(Value::Reg(r)));
         let f = b.finish();
 

@@ -115,12 +115,10 @@ impl<'s> Parser<'s> {
     }
 
     fn parse(mut self) -> PResult<Module> {
-        let (ln, header) = self
-            .next()
-            .ok_or_else(|| ParseError {
-                line: 0,
-                message: "empty input".into(),
-            })?;
+        let (ln, header) = self.next().ok_or_else(|| ParseError {
+            line: 0,
+            message: "empty input".into(),
+        })?;
         let name = header
             .strip_prefix("module ")
             .and_then(|r| r.strip_suffix(" {"))
@@ -370,9 +368,7 @@ fn infer_def_ty(
     _raw: &RawFunc,
     _reg_tys: &HashMap<u32, ScalarTy>,
 ) -> Option<ScalarTy> {
-    let cut = rhs
-        .find([' ', '('])
-        .unwrap_or(rhs.len());
+    let cut = rhs.find([' ', '(']).unwrap_or(rhs.len());
     let op = &rhs[..cut];
     let mut parts = op.split('.');
     let head = parts.next()?;
@@ -387,13 +383,7 @@ fn infer_def_ty(
         "gep" | "frame_addr" | "global_addr" => Some(ScalarTy::Ptr),
         "call" => {
             // `call fnK(...)`
-            let k: u32 = rhs
-                .split_once("fn")?
-                .1
-                .split('(')
-                .next()?
-                .parse()
-                .ok()?;
+            let k: u32 = rhs.split_once("fn")?.1.split('(').next()?.parse().ok()?;
             module.functions().get(k as usize)?.ret_ty()
         }
         name => {
@@ -417,9 +407,18 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
     }
     if let Some(rest) = text.strip_prefix("condbr ") {
         let mut it = rest.split(',').map(str::trim);
-        let cond = it.next().and_then(parse_value).ok_or_else(|| bad("condbr"))?;
-        let t = it.next().and_then(parse_block_ref).ok_or_else(|| bad("condbr"))?;
-        let e = it.next().and_then(parse_block_ref).ok_or_else(|| bad("condbr"))?;
+        let cond = it
+            .next()
+            .and_then(parse_value)
+            .ok_or_else(|| bad("condbr"))?;
+        let t = it
+            .next()
+            .and_then(parse_block_ref)
+            .ok_or_else(|| bad("condbr"))?;
+        let e = it
+            .next()
+            .and_then(parse_block_ref)
+            .ok_or_else(|| bad("condbr"))?;
         b.cond_br(cond, t, e);
         return Ok(());
     }
@@ -434,7 +433,9 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
     }
 
     if is_term {
-        return Err(err(format!("block must end in a terminator, found `{text}`")));
+        return Err(err(format!(
+            "block must end in a terminator, found `{text}`"
+        )));
     }
 
     // `store.ty [addr], value` defines nothing.
@@ -482,7 +483,10 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
         ("fdiv", BinOp::FDiv),
     ];
     if let Some((_, op)) = binops.iter().find(|(n, _)| *n == head) {
-        let ty = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("type"))?;
+        let ty = op_parts
+            .next()
+            .and_then(parse_ty)
+            .ok_or_else(|| bad("type"))?;
         let (l, r) = args_text.split_once(',').ok_or_else(|| bad("operands"))?;
         let lhs = parse_value(l).ok_or_else(|| bad("lhs"))?;
         let rhs_v = parse_value(r).ok_or_else(|| bad("rhs"))?;
@@ -491,8 +495,15 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
     }
     match head {
         "ineg" | "fneg" => {
-            let ty = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("type"))?;
-            let op = if head == "ineg" { UnOp::INeg } else { UnOp::FNeg };
+            let ty = op_parts
+                .next()
+                .and_then(parse_ty)
+                .ok_or_else(|| bad("type"))?;
+            let op = if head == "ineg" {
+                UnOp::INeg
+            } else {
+                UnOp::FNeg
+            };
             let src = parse_value(args_text).ok_or_else(|| bad("operand"))?;
             // No unop_into in the builder; emit via binop trick is wrong, so
             // extend: emit unop into dst through copy. Use dedicated path:
@@ -509,7 +520,10 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
                 Some("ge") => CmpOp::Ge,
                 _ => return Err(bad("predicate")),
             };
-            let ty = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("type"))?;
+            let ty = op_parts
+                .next()
+                .and_then(parse_ty)
+                .ok_or_else(|| bad("type"))?;
             let (l, r) = args_text.split_once(',').ok_or_else(|| bad("operands"))?;
             let lhs = parse_value(l).ok_or_else(|| bad("lhs"))?;
             let rhs_v = parse_value(r).ok_or_else(|| bad("rhs"))?;
@@ -517,20 +531,32 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
             Ok(())
         }
         "copy" => {
-            let ty = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("type"))?;
+            let ty = op_parts
+                .next()
+                .and_then(parse_ty)
+                .ok_or_else(|| bad("type"))?;
             let src = parse_value(args_text).ok_or_else(|| bad("operand"))?;
             b.copy(dst, src, ty);
             Ok(())
         }
         "cast" => {
-            let from = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("from"))?;
-            let to = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("to"))?;
+            let from = op_parts
+                .next()
+                .and_then(parse_ty)
+                .ok_or_else(|| bad("from"))?;
+            let to = op_parts
+                .next()
+                .and_then(parse_ty)
+                .ok_or_else(|| bad("to"))?;
             let src = parse_value(args_text).ok_or_else(|| bad("operand"))?;
             b.cast_into(dst, from, to, src);
             Ok(())
         }
         "load" => {
-            let ty = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("type"))?;
+            let ty = op_parts
+                .next()
+                .and_then(parse_ty)
+                .ok_or_else(|| bad("type"))?;
             let addr = args_text
                 .strip_prefix('[')
                 .and_then(|s| s.strip_suffix(']'))
@@ -542,7 +568,10 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
         "gep" => {
             // `gep base + idx*scale + idx*scale + off`
             let mut terms = args_text.split(" + ");
-            let base = terms.next().and_then(parse_value).ok_or_else(|| bad("base"))?;
+            let base = terms
+                .next()
+                .and_then(parse_value)
+                .ok_or_else(|| bad("base"))?;
             let mut indices = Vec::new();
             let mut offset = 0i64;
             for t in terms {
@@ -578,7 +607,10 @@ fn emit_line(b: &mut FunctionBuilder<'_>, text: &str, is_term: bool, line: u32) 
         }
         name => {
             let which = Intrinsic::from_name(name).ok_or_else(|| bad("opcode"))?;
-            let ty = op_parts.next().and_then(parse_ty).ok_or_else(|| bad("type"))?;
+            let ty = op_parts
+                .next()
+                .and_then(parse_ty)
+                .ok_or_else(|| bad("type"))?;
             let args = parse_args(args_text).ok_or_else(|| bad("arguments"))?;
             b.intrinsic_into(dst, which, ty, args);
             Ok(())
@@ -677,7 +709,12 @@ mod tests {
         let mut b = FunctionBuilder::new(&mut m, "mixed", &[ScalarTy::I64], Some(ScalarTy::F64));
         let n = b.param(0);
         let f = b.cast(ScalarTy::I64, ScalarTy::F64, Value::Reg(n));
-        let half = b.binop(BinOp::FMul, ScalarTy::F64, Value::Reg(f), Value::ImmFloat(0.5));
+        let half = b.binop(
+            BinOp::FMul,
+            ScalarTy::F64,
+            Value::Reg(f),
+            Value::ImmFloat(0.5),
+        );
         let neg = b.unop(UnOp::FNeg, ScalarTy::F64, Value::Reg(half));
         let fr = b.alloc_stack(8, 8);
         let slot = b.frame_addr(fr);
@@ -690,8 +727,7 @@ mod tests {
 
     #[test]
     fn parse_errors_carry_lines() {
-        let e = parse_module("module m {\n  fn f() {\n  bb0:\n    bogus op\n  }\n}")
-            .unwrap_err();
+        let e = parse_module("module m {\n  fn f() {\n  bb0:\n    bogus op\n  }\n}").unwrap_err();
         assert!(e.line > 0);
         assert!(e.to_string().contains("line"));
         assert!(parse_module("not a module").is_err());
@@ -789,7 +825,12 @@ mod proptests {
                 Op::LoadStore(i) => {
                     let p = Value::Reg(ptrs[*i as usize % ptrs.len()]);
                     let x = b.load(ScalarTy::F64, p);
-                    let y = b.binop(BinOp::FAdd, ScalarTy::F64, Value::Reg(x), Value::ImmFloat(1.5));
+                    let y = b.binop(
+                        BinOp::FAdd,
+                        ScalarTy::F64,
+                        Value::Reg(x),
+                        Value::ImmFloat(1.5),
+                    );
                     b.store(ScalarTy::F64, p, Value::Reg(y));
                     floats.push(y);
                 }
@@ -800,8 +841,7 @@ mod proptests {
                 }
                 Op::Intrin(i) => {
                     let v = Value::Reg(floats[*i as usize % floats.len()]);
-                    let which = [Intrinsic::Sqrt, Intrinsic::Fabs, Intrinsic::Exp]
-                        [*i as usize % 3];
+                    let which = [Intrinsic::Sqrt, Intrinsic::Fabs, Intrinsic::Exp][*i as usize % 3];
                     floats.push(b.intrinsic(which, ScalarTy::F64, vec![v]));
                 }
             }

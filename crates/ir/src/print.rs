@@ -8,13 +8,25 @@ use std::fmt;
 impl fmt::Display for Inst {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            InstKind::Bin { op, ty, dst, lhs, rhs } => {
+            InstKind::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 write!(f, "{dst} = {}.{ty} {lhs}, {rhs}", op.mnemonic())
             }
             InstKind::Un { op, ty, dst, src } => {
                 write!(f, "{dst} = {}.{ty} {src}", op.mnemonic())
             }
-            InstKind::Cmp { op, ty, dst, lhs, rhs } => {
+            InstKind::Cmp {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 write!(f, "{dst} = cmp.{}.{ty} {lhs}, {rhs}", op.mnemonic())
             }
             InstKind::Cast { dst, to, from, src } => {
@@ -26,7 +38,12 @@ impl fmt::Display for Inst {
             }
             InstKind::Load { dst, ty, addr } => write!(f, "{dst} = load.{ty} [{addr}]"),
             InstKind::Store { ty, addr, value } => write!(f, "store.{ty} [{addr}], {value}"),
-            InstKind::Gep { dst, base, indices, offset } => {
+            InstKind::Gep {
+                dst,
+                base,
+                indices,
+                offset,
+            } => {
                 write!(f, "{dst} = gep {base}")?;
                 for (idx, scale) in indices {
                     write!(f, " + {idx}*{scale}")?;
@@ -49,7 +66,12 @@ impl fmt::Display for Inst {
                 }
                 write!(f, ")")
             }
-            InstKind::Intrin { dst, which, ty, args } => {
+            InstKind::Intrin {
+                dst,
+                which,
+                ty,
+                args,
+            } => {
                 write!(f, "{dst} = {}.{ty}(", which.name())?;
                 for (i, a) in args.iter().enumerate() {
                     if i > 0 {
@@ -69,7 +91,11 @@ impl fmt::Display for Terminator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.kind {
             TermKind::Br(b) => write!(f, "br {b}"),
-            TermKind::CondBr { cond, then_bb, else_bb } => {
+            TermKind::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 write!(f, "condbr {cond}, {then_bb}, {else_bb}")
             }
             TermKind::Ret(Some(v)) => write!(f, "ret {v}"),

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Scalar machine types supported by the IR.
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert!(ScalarTy::F32.is_float());
 /// assert!(!ScalarTy::I64.is_float());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScalarTy {
     /// 64-bit signed integer (also used for booleans: 0 / 1).
     I64,

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a virtual register, scoped to a [`Function`].
@@ -10,7 +9,7 @@ use std::fmt;
 /// through LLVM virtual registers.
 ///
 /// [`Function`]: crate::Function
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegId(pub u32);
 
 impl RegId {
@@ -36,7 +35,7 @@ impl fmt::Display for RegId {
 /// assert_eq!(v.as_reg(), Some(RegId(3)));
 /// assert_eq!(Value::ImmInt(7).as_reg(), None);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// Read of a virtual register.
     Reg(RegId),

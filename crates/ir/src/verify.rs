@@ -96,9 +96,7 @@ impl Checker<'_> {
                     (Some(v), Some(ty)) => {
                         self.check_value(b, v, Some(ty), "return value")?;
                     }
-                    (None, Some(_)) => {
-                        return Err(self.err(Some(b), "missing return value".into()))
-                    }
+                    (None, Some(_)) => return Err(self.err(Some(b), "missing return value".into())),
                     (Some(_), None) => {
                         return Err(self.err(Some(b), "return value in void function".into()))
                     }
@@ -149,18 +147,20 @@ impl Checker<'_> {
             Value::ImmInt(_) => {
                 if let Some(want) = expect {
                     if want.is_float() {
-                        return Err(
-                            self.err(Some(b), format!("{what}: integer immediate where {want} expected"))
-                        );
+                        return Err(self.err(
+                            Some(b),
+                            format!("{what}: integer immediate where {want} expected"),
+                        ));
                     }
                 }
             }
             Value::ImmFloat(_) => {
                 if let Some(want) = expect {
                     if !want.is_float() {
-                        return Err(
-                            self.err(Some(b), format!("{what}: float immediate where {want} expected"))
-                        );
+                        return Err(self.err(
+                            Some(b),
+                            format!("{what}: float immediate where {want} expected"),
+                        ));
                     }
                 }
             }
@@ -170,7 +170,13 @@ impl Checker<'_> {
 
     fn check_inst(&self, b: BlockId, inst: &Inst) -> Result<(), VerifyError> {
         match &inst.kind {
-            InstKind::Bin { op, ty, dst, lhs, rhs } => {
+            InstKind::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 if op.is_fp() != ty.is_float() {
                     return Err(self.err(
                         Some(b),
@@ -187,7 +193,13 @@ impl Checker<'_> {
                 let dty = self.check_reg(b, *dst, op.mnemonic())?;
                 self.expect_reg_ty(b, *dst, dty, *ty, op.mnemonic())?;
             }
-            InstKind::Cmp { op, ty, dst, lhs, rhs } => {
+            InstKind::Cmp {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 self.check_value(b, *lhs, Some(*ty), op.mnemonic())?;
                 self.check_value(b, *rhs, Some(*ty), op.mnemonic())?;
                 let dty = self.check_reg(b, *dst, op.mnemonic())?;
@@ -207,7 +219,9 @@ impl Checker<'_> {
                 self.check_value(b, *addr, Some(ScalarTy::Ptr), "store address")?;
                 self.check_value(b, *value, Some(*ty), "store value")?;
             }
-            InstKind::Gep { dst, base, indices, .. } => {
+            InstKind::Gep {
+                dst, base, indices, ..
+            } => {
                 self.check_value(b, *base, Some(ScalarTy::Ptr), "gep base")?;
                 for (idx, scale) in indices {
                     self.check_value(b, *idx, Some(ScalarTy::I64), "gep index")?;
@@ -252,7 +266,12 @@ impl Checker<'_> {
                     _ => {}
                 }
             }
-            InstKind::Intrin { dst, which, ty, args } => {
+            InstKind::Intrin {
+                dst,
+                which,
+                ty,
+                args,
+            } => {
                 if !ty.is_float() {
                     return Err(self.err(
                         Some(b),
@@ -331,7 +350,12 @@ mod tests {
         let mut m = Module::new("m");
         let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::F64], Some(ScalarTy::F64));
         let p = b.param(0);
-        let r = b.binop(BinOp::FAdd, ScalarTy::F64, Value::Reg(p), Value::ImmFloat(1.0));
+        let r = b.binop(
+            BinOp::FAdd,
+            ScalarTy::F64,
+            Value::Reg(p),
+            Value::ImmFloat(1.0),
+        );
         b.ret(Some(Value::Reg(r)));
         b.finish();
         verify_module(&m).unwrap();
@@ -343,7 +367,12 @@ mod tests {
         let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::I64], None);
         let p = b.param(0);
         // fadd on an integer register: ill-typed.
-        let _ = b.binop(BinOp::FAdd, ScalarTy::F64, Value::Reg(p), Value::ImmFloat(1.0));
+        let _ = b.binop(
+            BinOp::FAdd,
+            ScalarTy::F64,
+            Value::Reg(p),
+            Value::ImmFloat(1.0),
+        );
         b.ret(None);
         b.finish();
         let err = verify_module(&m).unwrap_err();
@@ -354,7 +383,12 @@ mod tests {
     fn rejects_int_imm_in_float_slot() {
         let mut m = Module::new("m");
         let mut b = FunctionBuilder::new(&mut m, "f", &[], None);
-        let _ = b.binop(BinOp::FAdd, ScalarTy::F64, Value::ImmInt(1), Value::ImmFloat(1.0));
+        let _ = b.binop(
+            BinOp::FAdd,
+            ScalarTy::F64,
+            Value::ImmInt(1),
+            Value::ImmFloat(1.0),
+        );
         b.ret(None);
         b.finish();
         assert!(verify_module(&m).is_err());

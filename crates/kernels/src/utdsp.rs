@@ -37,7 +37,12 @@ pub fn kernels() -> Vec<Kernel> {
     ]
 }
 
-fn make(name: &'static str, variant: Variant, source: String, outputs: &'static [&'static str]) -> Kernel {
+fn make(
+    name: &'static str,
+    variant: Variant,
+    source: String,
+    outputs: &'static [&'static str],
+) -> Kernel {
     Kernel {
         name,
         group: Group::Utdsp,

@@ -37,11 +37,10 @@
 
 #![deny(missing_docs)]
 
-use serde::{Deserialize, Serialize};
 use vectorscope_ir::InstId;
 
 /// What happened in a [`TraceEvent`] beyond the instruction id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// An ordinary instruction; `addr` carries the dynamic byte address for
     /// loads and stores (`None` for non-memory instructions).
@@ -60,7 +59,7 @@ pub enum EventKind {
 }
 
 /// One executed dynamic instruction instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Static instruction this is an instance of.
     pub inst: InstId,
@@ -112,7 +111,7 @@ impl TraceEvent {
 /// Execution order is also a topological order of the dynamic
 /// data-dependence graph — every producer precedes its consumers — which is
 /// what makes the analysis a family of single forward scans.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
     /// Name of the traced entity (module / function / loop), for reports.
     name: String,
@@ -130,7 +129,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace decode error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "trace decode error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -434,11 +437,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn varint(&mut self) -> Result<u64, DecodeError> {
@@ -500,8 +507,14 @@ mod tests {
     }
 
     fn arb_event() -> impl Strategy<Value = TraceEvent> {
-        (any::<u32>(), any::<u32>(), 0u8..4, any::<u64>(), any::<u32>()).prop_map(
-            |(inst, act, tag, addr, callee)| {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            0u8..4,
+            any::<u64>(),
+            any::<u32>(),
+        )
+            .prop_map(|(inst, act, tag, addr, callee)| {
                 let kind = match tag {
                     0 => EventKind::Plain { addr: None },
                     1 => EventKind::Plain { addr: Some(addr) },
@@ -515,8 +528,7 @@ mod tests {
                     activation: act,
                     kind,
                 }
-            },
-        )
+            })
     }
 
     #[test]

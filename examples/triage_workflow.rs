@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|r| r.metrics.total_ops > 0)
             .max_by(|a, b| a.percent_cycles.partial_cmp(&b.percent_cycles).unwrap())
             .expect("an FP loop");
-        let counts: Vec<_> = report.per_inst.iter().map(|m| (m.inst, m.instances)).collect();
+        let counts: Vec<_> = report
+            .per_inst
+            .iter()
+            .map(|m| (m.inst, m.instances))
+            .collect();
         report.percent_packed = Some(percent_packed(&decisions, &counts));
         let verdict = triage(&report, &thresholds);
         println!(

@@ -184,7 +184,9 @@ fn milc_layout_transformation() {
         "AoS non-unit potential: {:?}",
         analysis.metrics
     );
-    assert!(!analyze_module(&module).iter().any(|d| d.vectorized && !d.packed.is_empty()));
+    assert!(!analyze_module(&module)
+        .iter()
+        .any(|d| d.vectorized && !d.packed.is_empty()));
 
     let trans = find("milc", Variant::Transformed).unwrap();
     let module = trans.compile().unwrap();
@@ -291,7 +293,10 @@ fn reduction_gap_and_extension() {
 #[test]
 fn bwaves_and_gromacs_rejection_reasons() {
     use vectorscope_autovec::Reason;
-    let bw = find("bwaves", Variant::Original).unwrap().compile().unwrap();
+    let bw = find("bwaves", Variant::Original)
+        .unwrap()
+        .compile()
+        .unwrap();
     let kernel_fn = bw.lookup_function("kernel").unwrap();
     let inner = analyze_module(&bw)
         .into_iter()
@@ -301,7 +306,10 @@ fn bwaves_and_gromacs_rejection_reasons() {
     assert!(!inner.vectorized);
     assert_eq!(inner.reason, Some(Reason::NonAffineAccess)); // the mod wraparound
 
-    let gr = find("gromacs", Variant::Original).unwrap().compile().unwrap();
+    let gr = find("gromacs", Variant::Original)
+        .unwrap()
+        .compile()
+        .unwrap();
     let kernel_fn = gr.lookup_function("kernel").unwrap();
     let inner = analyze_module(&gr)
         .into_iter()
@@ -319,12 +327,7 @@ fn bwaves_and_gromacs_rejection_reasons() {
 fn control_irregularity_separates_povray_from_pde() {
     // PDE solver: the boundary test is heavily biased.
     let pde = find("pde_solver", Variant::Original).unwrap();
-    let suite = analyze_source(
-        &pde.file_name(),
-        &pde.source,
-        &AnalysisOptions::default(),
-    )
-    .unwrap();
+    let suite = analyze_source(&pde.file_name(), &pde.source, &AnalysisOptions::default()).unwrap();
     let pde_row = suite
         .loops
         .iter()

@@ -91,7 +91,10 @@ fn partitions_cover_every_candidate_exactly_once() {
                 assert!(seen.insert(n), "node {n} appears in two partitions");
             }
         }
-        let total = ddg.candidate_nodes().filter(|&n| ddg.inst(n) == inst).count();
+        let total = ddg
+            .candidate_nodes()
+            .filter(|&n| ddg.inst(n) == inst)
+            .count();
         assert_eq!(seen.len(), total);
     }
 }
@@ -234,7 +237,10 @@ fn hot_loops_respect_threshold() {
     .unwrap();
     assert!(lax.loops.len() >= 2);
     for w in lax.loops.windows(2) {
-        assert!(w[0].percent_cycles >= w[1].percent_cycles, "rows not sorted");
+        assert!(
+            w[0].percent_cycles >= w[1].percent_cycles,
+            "rows not sorted"
+        );
     }
 }
 
@@ -289,7 +295,14 @@ fn moderate_scale_program_analyzes_in_bounds() {
     let trace = vm.take_trace().unwrap();
     assert!(trace.len() > 200_000, "trace has {} events", trace.len());
     let ddg = Ddg::build(&module, &trace);
-    assert_eq!(ddg.len(), trace.events().iter().filter(|e| matches!(e.kind, vectorscope_trace::EventKind::Plain{..})).count());
+    assert_eq!(
+        ddg.len(),
+        trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, vectorscope_trace::EventKind::Plain { .. }))
+            .count()
+    );
     // Analyze every candidate; partitions must cover all instances.
     for inst in ddg.candidate_insts() {
         let p = partition(&ddg, inst, &HashSet::new());
@@ -297,6 +310,9 @@ fn moderate_scale_program_analyzes_in_bounds() {
     }
     // Compressed trace round-trips at scale.
     let packed = trace.to_bytes_compressed();
-    assert_eq!(vectorscope_trace::Trace::from_bytes(&packed).unwrap(), trace);
+    assert_eq!(
+        vectorscope_trace::Trace::from_bytes(&packed).unwrap(),
+        trace
+    );
     assert!(packed.len() * 2 < trace.to_bytes().len());
 }

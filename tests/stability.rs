@@ -27,9 +27,7 @@ fn gauss_seidel(n: usize) -> String {
     )
 }
 
-fn hottest(
-    suite: &vectorscope::SuiteReport,
-) -> &vectorscope::LoopReport {
+fn hottest(suite: &vectorscope::SuiteReport) -> &vectorscope::LoopReport {
     suite
         .loops
         .iter()

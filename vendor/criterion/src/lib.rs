@@ -1,0 +1,242 @@
+//! Offline minimal benchmarking harness.
+//!
+//! The build environment of this repository cannot reach crates.io, so this
+//! crate implements the subset of the `criterion` API that the vectorscope
+//! benches use: [`Criterion`], benchmark groups with throughput annotation,
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a simple warm-up +
+//! calibrated-batch timing loop around `std::time::Instant`; results are
+//! printed one line per benchmark and kept on the [`Criterion`] instance
+//! (see [`Criterion::results`]) so harness code can post-process them.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified benchmark id (`group/name` or bare name).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured (after warm-up).
+    pub iterations: u64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// Work performed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times one closure; created by the harness and passed to bench bodies.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iterations: u64,
+}
+
+/// Target wall-clock time for the measured phase of one benchmark.
+const MEASURE_TARGET_NS: u128 = 200_000_000;
+
+impl Bencher {
+    /// Calls `routine` repeatedly: a short warm-up sizes the batch, then the
+    /// batch is timed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until 10ms or 50 iterations to estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed().as_millis() >= 10 || warm_iters >= 50 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() / warm_iters as u128).max(1);
+        let iters = ((MEASURE_TARGET_NS / est_ns).clamp(10, 1_000_000)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed().as_nanos() as f64;
+        self.ns_per_iter = total / iters as f64;
+        self.iterations = iters;
+    }
+}
+
+/// The top-level benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// All results measured so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let result = run_one(id.to_string(), None, f);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let result = run_one(full, self.throughput, f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let result = run_one(full, self.throughput, |b| f(b, input));
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark; nothing extra to do).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: String,
+    throughput: Option<Throughput>,
+    mut f: F,
+) -> BenchResult {
+    let mut bencher = Bencher {
+        ns_per_iter: 0.0,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let result = BenchResult {
+        id,
+        ns_per_iter: bencher.ns_per_iter,
+        iterations: bencher.iterations,
+        throughput,
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!(
+                "  thrpt: {:>12.3} Melem/s",
+                n as f64 / result.ns_per_iter * 1e3
+            )
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  thrpt: {:>12.3} MiB/s",
+                n as f64 / result.ns_per_iter * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{:<40} time: {:>12} /iter  ({} iters){}",
+        result.id,
+        format_ns(result.ns_per_iter),
+        result.iterations,
+        rate
+    );
+    result
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running a sequence of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

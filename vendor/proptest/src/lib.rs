@@ -1,0 +1,97 @@
+//! Offline minimal property-testing harness.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate implements — from scratch, on `std` only — the subset of the
+//! `proptest` API that the vectorscope workspace uses:
+//!
+//! * [`Strategy`] with `prop_map`, `prop_recursive`, and `boxed`,
+//! * strategies for integer ranges, tuples, [`Just`], [`any`], vectors
+//!   ([`collection::vec`]), and simple regex-like string patterns,
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], and [`prop_assert_ne!`] macros,
+//! * a deterministic per-test RNG, so failures are reproducible.
+//!
+//! There is no shrinking: a failing case panics with the formatted assertion
+//! message (which, in this workspace's tests, always embeds the offending
+//! values). Each test function derives its RNG seed from its fully
+//! qualified name, so runs are stable across processes and machines.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(..)` resolves, as in real proptest.
+    pub use crate as prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property-test functions: each `name(pattern in strategy, ..)`
+/// body runs for `ProptestConfig::cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}

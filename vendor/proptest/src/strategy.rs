@@ -1,0 +1,355 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy for smaller
+    /// instances and returns the strategy for one level up. `depth` bounds
+    /// the nesting; the size/branch hints are accepted for API parity but
+    /// unused.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut acc = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(acc).boxed();
+            let leaf = leaf.clone();
+            // Mix in leaves so generated sizes vary below the depth bound.
+            acc = BoxedStrategy::new(move |rng| {
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    branch.generate(rng)
+                }
+            });
+        }
+        acc
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy(Rc::new(f))
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased strategies (the `prop_oneof!` backend).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options`; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy (the `any::<T>()` entry
+/// point).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy generating unconstrained values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, reasonably sized magnitudes: raw bit patterns would be
+        // NaN/Inf a quarter of the time, which no caller here wants.
+        (rng.next_u64() as i64 % (1 << 32)) as f64 / 65536.0
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0)
+    (S0, S1)
+    (S0, S1, S2)
+    (S0, S1, S2, S3)
+    (S0, S1, S2, S3, S4)
+    (S0, S1, S2, S3, S4, S5)
+}
+
+/// String-pattern strategy: a `&'static str` acts as a simplified regex of
+/// the form `.{lo,hi}` or `[class]{lo,hi}`, the two shapes used by this
+/// workspace's fuzz tests. Character classes support ranges (`a-z`),
+/// literal members, and backslash escapes (`\-`, `\[`, `\]`, `\\`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern strategy: {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Splits `atom{lo,hi}` into the atom's alphabet and the length bounds.
+fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let open = pat.rfind('{')?;
+    let close = pat.rfind('}')?;
+    if close != pat.len() - 1 || close < open {
+        return None;
+    }
+    let (lo, hi) = pat[open + 1..close].split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    if hi < lo {
+        return None;
+    }
+    let atom = &pat[..open];
+    let alphabet = if atom == "." {
+        // Printable ASCII.
+        (0x20u8..0x7f).map(char::from).collect()
+    } else {
+        let inner = atom.strip_prefix('[')?.strip_suffix(']')?;
+        parse_class(inner)?
+    };
+    if alphabet.is_empty() {
+        return None;
+    }
+    Some((alphabet, lo, hi))
+}
+
+/// Expands a character-class body into its member set.
+fn parse_class(body: &str) -> Option<Vec<char>> {
+    let mut members = Vec::new();
+    let chars: Vec<char> = body.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = match chars[i] {
+            '\\' => {
+                i += 1;
+                match *chars.get(i)? {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            }
+            other => other,
+        };
+        // A `-` between two plain members denotes a range.
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let end = chars[i + 2];
+            if end != '\\' {
+                for x in c as u32..=end as u32 {
+                    members.push(char::from_u32(x)?);
+                }
+                i += 3;
+                continue;
+            }
+        }
+        members.push(c);
+        i += 1;
+    }
+    Some(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (-100i64..100).generate(&mut rng);
+            assert!((-100..100).contains(&v));
+            let w = (0u8..4).generate(&mut rng);
+            assert!(w < 4);
+            let x = (-8i32..=8).generate(&mut rng);
+            assert!((-8..=8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn class_patterns_expand() {
+        let (alphabet, lo, hi) = parse_pattern("[a-c0-1\\-x]{2,5}").unwrap();
+        assert_eq!(alphabet, vec!['a', 'b', 'c', '0', '1', '-', 'x']);
+        assert_eq!((lo, hi), (2, 5));
+        let (dot, lo, hi) = parse_pattern(".{0,20}").unwrap();
+        assert!(dot.contains(&'A') && dot.contains(&'~'));
+        assert_eq!((lo, hi), (0, 20));
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::new(3);
+        let s = crate::prop_oneof![(0i32..5).prop_map(|v| v * 2), Just(100i32),];
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v == 100 || (v % 2 == 0 && v < 10));
+        }
+    }
+}
