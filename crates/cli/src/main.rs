@@ -27,6 +27,9 @@ fn usage() -> ExitCode {
          \n\
          USAGE:\n\
            vscope analyze <file.kern> [--threshold PCT] [--break-reductions] [--verbose]\n\
+                          [--threads N]       analysis worker threads (0 = auto;\n\
+                                              also via VSCOPE_THREADS; results are\n\
+                                              identical at every thread count)\n\
            vscope profile <file.kern>           show per-loop cycle profile\n\
            vscope vectorize <file.kern>         show model auto-vectorizer decisions\n\
            vscope trace <file.kern> [--out F]   capture a whole-program trace\n\
@@ -99,7 +102,7 @@ fn positional(rest: &[String], idx: usize) -> Option<&str> {
             skip_next = false;
             continue;
         }
-        if a == "--threshold" || a == "--out" {
+        if a == "--threshold" || a == "--out" || a == "--threads" {
             skip_next = true;
             continue;
         }
@@ -122,6 +125,9 @@ fn analysis_options(rest: &[String]) -> Result<AnalysisOptions, Box<dyn std::err
     };
     if let Some(t) = opt_value(rest, "--threshold") {
         options.hot_threshold_pct = t.parse::<f64>()?;
+    }
+    if let Some(t) = opt_value(rest, "--threads") {
+        options.threads = t.parse::<usize>()?;
     }
     Ok(options)
 }
@@ -400,17 +406,26 @@ fn cmd_triage(rest: &[String]) -> CliResult {
 
 /// Characterizes the whole built-in kernel suite — the paper's
 /// "characterization of code bases" workflow (§1): one triage verdict per
-/// kernel's hottest loop.
-fn cmd_suite(_rest: &[String]) -> CliResult {
+/// kernel's hottest loop. The kernels are independent programs, so the
+/// batch fans out across the worker pool (`--threads` / `VSCOPE_THREADS`);
+/// rows still print in suite order with identical contents at every
+/// thread count.
+fn cmd_suite(rest: &[String]) -> CliResult {
     use vectorscope::triage::{triage, TriageThresholds};
-    let options = AnalysisOptions::default();
+    let options = analysis_options(rest)?;
     let thresholds = TriageThresholds::default();
     println!(
         "{:<28} {:>8} {:>10} {:>8}  verdict",
         "kernel", "%packed", "potential", "irreg."
     );
-    for kernel in vectorscope_kernels::all_kernels() {
-        let suite = match analyze_source(&kernel.file_name(), &kernel.source, &options) {
+    let kernels = vectorscope_kernels::all_kernels();
+    let programs: Vec<(String, String)> = kernels
+        .iter()
+        .map(|k| (k.file_name(), k.source.clone()))
+        .collect();
+    let results = vectorscope::analyze_sources(&programs, &options);
+    for (kernel, result) in kernels.iter().zip(results) {
+        let suite = match result {
             Ok(s) => s,
             Err(e) => {
                 println!("{:<28} error: {e}", kernel.file_name());

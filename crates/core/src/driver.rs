@@ -22,6 +22,14 @@ pub enum Error {
         /// The loop's source line.
         line: u32,
     },
+    /// An armed capture handed back no trace (a pipeline invariant was
+    /// violated, e.g. by a VM whose capture state was consumed early).
+    /// Reported as an error instead of panicking so one bad analysis in a
+    /// batch cannot take down the others.
+    TraceUnavailable {
+        /// What the missing trace was supposed to cover.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -32,6 +40,9 @@ impl std::fmt::Display for Error {
             Error::EmptyTrace { func, line } => {
                 write!(f, "loop {func}:{line} was never entered; no trace captured")
             }
+            Error::TraceUnavailable { what } => {
+                write!(f, "no trace available for {what} despite an armed capture")
+            }
         }
     }
 }
@@ -41,7 +52,7 @@ impl std::error::Error for Error {
         match self {
             Error::Compile(e) => Some(e),
             Error::Vm(e) => Some(e),
-            Error::EmptyTrace { .. } => None,
+            Error::EmptyTrace { .. } | Error::TraceUnavailable { .. } => None,
         }
     }
 }
@@ -90,6 +101,13 @@ pub struct AnalysisOptions {
     pub include_integer_ops: bool,
     /// VM instruction budget per run.
     pub fuel: u64,
+    /// Worker threads for the analysis engine (per-(loop, instance)
+    /// sub-trace analyses, per-(candidate, partition) stride shards, and
+    /// batch runs). `0` resolves via [`rayon_lite::resolve_threads`]: the
+    /// `VSCOPE_THREADS` environment variable if set to a positive integer,
+    /// else the machine's available parallelism, clamped to ≥ 1. Reports
+    /// are bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -100,6 +118,7 @@ impl Default for AnalysisOptions {
             break_reductions: false,
             include_integer_ops: false,
             fuel: 2_000_000_000,
+            threads: 0,
         }
     }
 }
@@ -115,6 +134,17 @@ impl AnalysisOptions {
     fn metric_options(&self) -> MetricOptions {
         MetricOptions {
             break_reductions: self.break_reductions,
+            threads: self.threads,
+        }
+    }
+
+    /// Metric options for code already running *inside* a worker: the
+    /// stride stage stays single-threaded there, so an outer fan-out does
+    /// not multiply into nested thread explosions.
+    fn worker_metric_options(&self) -> MetricOptions {
+        MetricOptions {
+            break_reductions: self.break_reductions,
+            threads: 1,
         }
     }
 
@@ -164,7 +194,8 @@ pub struct ProgramAnalysis {
 ///
 /// # Errors
 ///
-/// Returns [`Error::Vm`] if execution fails.
+/// Returns [`Error::Vm`] if execution fails and [`Error::TraceUnavailable`]
+/// if the VM hands back no trace for the armed program capture.
 pub fn analyze_program(
     module: &Module,
     options: &AnalysisOptions,
@@ -172,7 +203,9 @@ pub fn analyze_program(
     let mut vm = Vm::with_options(module, options.vm_options());
     vm.set_capture(CaptureSpec::Program, module.name());
     vm.run_main()?;
-    let trace = vm.take_trace().expect("capture was armed");
+    let trace = vm.take_trace().ok_or_else(|| Error::TraceUnavailable {
+        what: format!("program capture of `{}`", module.name()),
+    })?;
     let ddg = Ddg::build_with_policy(module, &trace, options.candidate_policy());
     let (metrics, per_inst) = analyze_ddg(module, &ddg, &options.metric_options());
     Ok(ProgramAnalysis {
@@ -256,12 +289,32 @@ pub fn analyze_source(
     if !plans.is_empty() {
         cap_vm.run_main()?;
     }
-    let mut traces = cap_vm.take_traces().into_iter();
 
-    let mut loops = Vec::new();
-    for p in plans {
-        let loop_traces: Vec<_> = traces.by_ref().take(p.n_traces).collect();
-        let Some((ddg, metrics, per_inst)) = best_of_traces(&module, options, loop_traces) else {
+    // Hand each plan its slice of the captured traces and fan the
+    // per-(loop, instance) sub-trace analyses — DDG construction,
+    // Algorithm 1, and the stride stage — across the work pool. Workers
+    // return into pre-indexed slots (plan order), and a worker's failure
+    // surfaces as the lowest-indexed error, so the result is identical to
+    // the sequential engine's at every thread count. The stride stage
+    // inside each worker stays single-threaded ([`AnalysisOptions::
+    // worker_metric_options`]) unless there is only one plan to analyze.
+    let mut traces = cap_vm.take_traces().into_iter();
+    let work: Vec<(Plan, Vec<vectorscope_trace::Trace>)> = plans
+        .into_iter()
+        .map(|p| {
+            let loop_traces: Vec<_> = traces.by_ref().take(p.n_traces).collect();
+            (p, loop_traces)
+        })
+        .collect();
+    let metric_options = if work.len() > 1 {
+        options.worker_metric_options()
+    } else {
+        options.metric_options()
+    };
+    let mut loops = rayon_lite::try_par_map(options.threads, &work, |_, (p, loop_traces)| {
+        let Some((ddg, metrics, per_inst)) =
+            best_of_traces(&module, options, &metric_options, loop_traces)
+        else {
             return Err(Error::EmptyTrace {
                 func: module.function(p.func).name().to_string(),
                 line: p.line,
@@ -277,14 +330,44 @@ pub fn analyze_source(
             &inst_counts,
             &branch_taken,
         );
-        loops.push(report);
-    }
+        Ok(report)
+    })?;
     loops.sort_by(|a, b| {
         b.percent_cycles
             .partial_cmp(&a.percent_cycles)
             .expect("percentages are finite")
     });
     Ok(SuiteReport { module, loops })
+}
+
+/// Analyzes a batch of independent programs — `(name, source)` pairs —
+/// concurrently, one worker per program.
+///
+/// This is the engine behind `vscope suite` and any code-base
+/// characterization run: each program's profile/capture/analysis pipeline
+/// is self-contained, so the batch fans out across
+/// [`AnalysisOptions::threads`] workers while each worker runs its inner
+/// stages single-threaded. Results come back in input order, and one
+/// failing program yields its own `Err` entry without disturbing (or being
+/// reordered by) the others.
+pub fn analyze_sources(
+    programs: &[(String, String)],
+    options: &AnalysisOptions,
+) -> Vec<Result<SuiteReport, Error>> {
+    // Inside a worker, run the whole per-program pipeline on one thread;
+    // with a single program there is no outer fan-out, so let the inner
+    // stages use the full budget instead.
+    let per_program = if programs.len() > 1 {
+        AnalysisOptions {
+            threads: 1,
+            ..options.clone()
+        }
+    } else {
+        options.clone()
+    };
+    rayon_lite::par_map(options.threads, programs, |_, (name, source)| {
+        analyze_source(name, source, &per_program)
+    })
 }
 
 /// Captures and analyzes one dynamic instance of one loop of `module`.
@@ -344,7 +427,8 @@ fn sampled_instances(pick: InstancePick, entries: u64) -> Vec<u64> {
 fn best_of_traces(
     module: &Module,
     options: &AnalysisOptions,
-    traces: Vec<vectorscope_trace::Trace>,
+    metric_options: &MetricOptions,
+    traces: &[vectorscope_trace::Trace],
 ) -> Option<(
     Ddg,
     crate::metrics::LoopMetrics,
@@ -359,8 +443,8 @@ fn best_of_traces(
         if trace.is_empty() {
             continue;
         }
-        let ddg = Ddg::build_with_policy(module, &trace, options.candidate_policy());
-        let (metrics, per_inst) = analyze_ddg(module, &ddg, &options.metric_options());
+        let ddg = Ddg::build_with_policy(module, trace, options.candidate_policy());
+        let (metrics, per_inst) = analyze_ddg(module, &ddg, metric_options);
         let better = match &best {
             None => true,
             Some((_, m, _)) => metrics.total_ops > m.total_ops,
@@ -409,7 +493,12 @@ fn analyze_loop_inner(
     }
     vm.run_main()?;
 
-    let Some((ddg, metrics, per_inst)) = best_of_traces(module, options, vm.take_traces()) else {
+    let Some((ddg, metrics, per_inst)) = best_of_traces(
+        module,
+        options,
+        &options.metric_options(),
+        &vm.take_traces(),
+    ) else {
         return Err(Error::EmptyTrace {
             func: function.name().to_string(),
             line,

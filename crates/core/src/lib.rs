@@ -32,6 +32,13 @@
 //! self-dependences so reduction-style vectorization potential becomes
 //! visible.
 //!
+//! Stages 5–7 run on a deterministic work pool (`rayon_lite`, vendored):
+//! per-(loop, instance) sub-traces, per-(candidate, partition) stride
+//! shards, and whole programs in a batch ([`analyze_sources`]) fan out
+//! across [`AnalysisOptions::threads`] workers, and every report is
+//! **byte-identical at every thread count** — a contract enforced by the
+//! `determinism` differential test suite and the `golden` snapshots.
+//!
 //! # Quick start
 //!
 //! ```
@@ -64,8 +71,8 @@ pub mod stride;
 pub mod triage;
 
 pub use driver::{
-    analyze_loop, analyze_program, analyze_source, AnalysisOptions, Error, InstancePick,
-    LoopAnalysis, ProgramAnalysis, SuiteReport,
+    analyze_loop, analyze_program, analyze_source, analyze_sources, AnalysisOptions, Error,
+    InstancePick, LoopAnalysis, ProgramAnalysis, SuiteReport,
 };
 pub use metrics::{InstMetrics, LoopMetrics, VecLengthHistogram};
 pub use partition::{partition, partition_all, Partitions};

@@ -138,6 +138,12 @@ pub struct MetricOptions {
     /// partitioning (the paper's proposed extension; off by default to
     /// match the published tables).
     pub break_reductions: bool,
+    /// Worker threads for the stride stage (the §3.2/§3.3 per-partition
+    /// sorting and waitlist scans, sharded by (candidate, partition)).
+    /// `0` resolves via [`rayon_lite::resolve_threads`] (the
+    /// `VSCOPE_THREADS` environment variable, else available parallelism).
+    /// Results are bit-identical at every thread count.
+    pub threads: usize,
 }
 
 /// Runs the full per-instruction analysis over one DDG and aggregates the
@@ -179,9 +185,25 @@ pub fn analyze_ddg(
         .collect();
     let all_parts = partition_all(ddg, &insts, &ignores);
 
-    for (parts, chain) in all_parts.into_iter().zip(chains) {
+    // The stride stage is the hot path and embarrassingly parallel: each
+    // (candidate, partition) pair is an independent sort + waitlist scan.
+    // Fan the shards across the work pool; `par_map` hands results back in
+    // shard order, so the aggregation below is byte-identical to the
+    // sequential engine at every thread count.
+    let elems: Vec<u64> = insts.iter().map(|&inst| ddg.elem_size(inst)).collect();
+    let shards: Vec<(usize, usize)> = all_parts
+        .iter()
+        .enumerate()
+        .flat_map(|(c, parts)| (0..parts.groups.len()).map(move |g| (c, g)))
+        .collect();
+    let stride_reports: Vec<StrideReport> =
+        rayon_lite::par_map(options.threads, &shards, |_, &(c, g)| {
+            analyze_partition(ddg, &all_parts[c].groups[g], elems[c])
+        });
+    let mut stride_reports = stride_reports.into_iter();
+
+    for (parts, chain) in all_parts.iter().zip(chains) {
         let inst = parts.inst;
-        let elem = ddg.elem_size(inst);
 
         let mut m = InstMetrics {
             inst,
@@ -195,8 +217,10 @@ pub fn analyze_ddg(
             non_unit_subparts: 0,
             reduction: chain.is_some(),
         };
-        for group in &parts.groups {
-            let report: StrideReport = analyze_partition(ddg, group, elem);
+        for _ in &parts.groups {
+            let report: StrideReport = stride_reports
+                .next()
+                .expect("one stride report per (candidate, partition) shard");
             m.unit_ops += report.unit_ops() as u64;
             m.unit_subparts += report.unit.len() as u64;
             m.non_unit_ops += report.non_unit_ops() as u64;
@@ -386,6 +410,7 @@ mod tests {
             src,
             &MetricOptions {
                 break_reductions: true,
+                ..MetricOptions::default()
             },
         );
         let acc_broken = per_broken.iter().find(|m| m.reduction).unwrap();

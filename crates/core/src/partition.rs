@@ -12,6 +12,11 @@
 //! * **Property 3.2** — every instance receives the *smallest* possible
 //!   timestamp, so the partitioning exposes the maximum available
 //!   parallelism for `s` under any dependence-preserving reordering.
+//!
+//! The forward scan itself is inherently sequential (each node's timestamp
+//! depends on its predecessors'), so [`partition_all`] stays on one thread;
+//! it is the *output* — independent (candidate, partition) groups — that
+//! the metrics layer fans across workers for the stride stage.
 
 use std::collections::HashSet;
 use vectorscope_ddg::Ddg;

@@ -15,6 +15,13 @@
 //! stride using the paper's wait-list scan. Large non-unit groups signal
 //! that a data-layout transformation (array transposition, AoS→SoA) would
 //! unlock vectorization — the basis of the milc and bwaves case studies.
+//!
+//! This module is the engine's hot path and its **parallel shard unit**:
+//! [`analyze_partition`] is a pure function of one partition (it reads the
+//! shared DDG, owns all its scratch, and mutates nothing), so the metrics
+//! layer fans (candidate, partition) shards across worker threads and the
+//! result is bit-identical at any thread count. Keep it pure — a cache or
+//! shared scratch buffer added here would silently break that contract.
 
 use vectorscope_ddg::Ddg;
 

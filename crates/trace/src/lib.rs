@@ -118,6 +118,16 @@ pub struct Trace {
     events: Vec<TraceEvent>,
 }
 
+// The parallel analysis engine hands captured traces across worker threads
+// (one (loop, instance) sub-trace per worker); keep the hand-off types
+// thread-portable by construction. Adding interior mutability or shared
+// ownership to either type would break this at compile time, not at 2 a.m.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Trace>();
+    assert_send_sync::<TraceEvent>();
+};
+
 /// Error produced when decoding a serialized trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeError {

@@ -178,3 +178,128 @@ fn memory_limit_is_respected() {
     // Either a clean stack overflow or a trap; never a panic.
     assert!(r.is_err() || r.is_ok());
 }
+
+// ---------------------------------------------------------------------------
+// Parallel engine robustness: worker failures, thread-count edge cases, and
+// the driver's trace hand-off.
+
+/// A worker whose analysis fails (here: a VM trap during the capture run of
+/// one batch entry) must surface exactly one `Error` for its own slot —
+/// without panicking, deadlocking, or poisoning the neighbouring workers'
+/// results.
+#[test]
+fn batch_worker_error_does_not_poison_other_workers() {
+    let ok = r#"
+        const int N = 32;
+        double a[N];
+        void main() { for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; } }
+    "#;
+    let trap = "int z = 0; int o = 0; void main() { o = 1 / z; }";
+    let programs: Vec<(String, String)> = [
+        ("ok_one.kern", ok),
+        ("trap.kern", trap),
+        ("ok_two.kern", ok),
+    ]
+    .into_iter()
+    .map(|(n, s)| (n.to_string(), s.to_string()))
+    .collect();
+
+    let solo_for = |name: &str| {
+        let options = AnalysisOptions {
+            threads: 1,
+            ..AnalysisOptions::default()
+        };
+        let suite = analyze_source(name, ok, &options).unwrap();
+        vectorscope::json::suite_json(&suite.loops)
+    };
+    let solo = [solo_for("ok_one.kern"), solo_for("ok_two.kern")];
+
+    for threads in [1, 2, 7] {
+        let options = AnalysisOptions {
+            threads,
+            ..AnalysisOptions::default()
+        };
+        let results = vectorscope::analyze_sources(&programs, &options);
+        assert_eq!(results.len(), 3, "threads = {threads}");
+        assert!(
+            matches!(results[1], Err(Error::Vm(_))),
+            "threads = {threads}: expected the trapping program's own Vm error, got {:?}",
+            results[1]
+        );
+        for (idx, want) in [(0, &solo[0]), (2, &solo[1])] {
+            let suite = results[idx]
+                .as_ref()
+                .unwrap_or_else(|e| panic!("threads = {threads}: slot {idx} poisoned: {e}"));
+            assert_eq!(
+                &vectorscope::json::suite_json(&suite.loops),
+                want,
+                "threads = {threads}: slot {idx} diverged after a sibling worker failed"
+            );
+        }
+    }
+}
+
+/// `threads: 0` resolves to the machine's available parallelism (clamped to
+/// at least one worker) and must not change a single byte of the report.
+#[test]
+fn threads_zero_clamps_to_available_parallelism() {
+    let src = r#"
+        const int N = 24;
+        double a[N]; double b[N];
+        void main() {
+            for (int i = 0; i < N; i++) { b[i] = (double)i; }
+            for (int i = 0; i < N; i++) { a[i] = b[i] * 3.0; }
+        }
+    "#;
+    let at = |threads: usize| {
+        let options = AnalysisOptions {
+            threads,
+            ..AnalysisOptions::default()
+        };
+        let suite = analyze_source("clamp.kern", src, &options).unwrap();
+        vectorscope::json::suite_json(&suite.loops)
+    };
+    assert_eq!(at(0), at(1));
+}
+
+/// More threads than shards: the pool spawns at most one worker per work
+/// item, so a huge `threads` value on a tiny kernel must neither hang nor
+/// change the result.
+#[test]
+fn threads_beyond_shard_count_is_safe() {
+    let src = r#"
+        const int N = 8;
+        double a[N];
+        void main() { for (int i = 0; i < N; i++) { a[i] = a[i] + 1.0; } }
+    "#;
+    let at = |threads: usize| {
+        let options = AnalysisOptions {
+            threads,
+            ..AnalysisOptions::default()
+        };
+        let suite = analyze_source("tiny.kern", src, &options).unwrap();
+        vectorscope::json::suite_json(&suite.loops)
+    };
+    assert_eq!(at(64), at(1));
+}
+
+/// Regression for the driver's trace hand-off: `analyze_program` used to
+/// `expect("capture was armed")` on the VM's returned trace; any failure on
+/// that path must come back as an `Error`, never a panic.
+#[test]
+fn analyze_program_failures_are_errors_not_panics() {
+    // A trapping program exits through the VM error path, one misstep
+    // before the old expect.
+    let trap = "int z = 0; int o = 0; void main() { o = 1 / z; }";
+    let module = vectorscope_frontend::compile("trap.kern", trap).unwrap();
+    let err = vectorscope::analyze_program(&module, &AnalysisOptions::default());
+    assert!(matches!(err, Err(Error::Vm(_))), "got {err:?}");
+
+    // The dedicated variant for a missing trace is a displayable,
+    // source-less error (not a panic payload).
+    let e = Error::TraceUnavailable {
+        what: "program capture of `x.kern`".to_string(),
+    };
+    assert!(e.to_string().contains("x.kern"));
+    assert!(std::error::Error::source(&e).is_none());
+}

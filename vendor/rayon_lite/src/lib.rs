@@ -1,0 +1,278 @@
+//! Offline minimal scoped work-pool.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! this crate implements — on `std::thread` only — the deterministic
+//! fork-join subset that the vectorscope workspace uses in place of
+//! `rayon`: [`par_map`], [`try_par_map`], [`par_chunks`], and a re-exported
+//! [`scope`].
+//!
+//! # Determinism contract
+//!
+//! Every function in this crate is **bit-deterministic at any thread
+//! count**: workers pull item *indices* from a shared atomic counter,
+//! compute independently, and the results are scattered back into
+//! pre-indexed output slots. The caller observes results in input order,
+//! never in completion order, so there are no order-dependent reductions —
+//! `par_map(n, items, f)` returns exactly what `items.iter().map(f)` would,
+//! for every `n`. [`try_par_map`] likewise always reports the error of the
+//! **lowest-indexed** failing item, regardless of which worker hit an error
+//! first on the wall clock.
+//!
+//! # Thread-count resolution
+//!
+//! Call sites pass a *requested* thread count, where `0` means "pick for
+//! me": [`resolve_threads`] then consults the `VSCOPE_THREADS` environment
+//! variable, and if that is unset, invalid, or itself `0`, falls back to
+//! [`std::thread::available_parallelism`], clamped to at least 1. An
+//! explicit nonzero request always wins over the environment, so library
+//! callers can pin a stage to one thread (e.g. to avoid nested fan-out).
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Structured concurrency entry point, re-exported from the standard
+/// library: `scope(|s| { s.spawn(..); .. })` joins every spawned thread
+/// before returning. The [`par_map`] family is built on it; it is exposed
+/// for callers that need irregular fork-join shapes.
+pub use std::thread::scope;
+
+/// The environment variable consulted when a requested thread count is 0.
+pub const THREADS_ENV: &str = "VSCOPE_THREADS";
+
+/// The machine's available parallelism, clamped to at least 1.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Resolves a requested thread count to an effective one.
+///
+/// * `requested > 0` — used as-is.
+/// * `requested == 0` — the `VSCOPE_THREADS` environment variable, if set
+///   to a positive integer; otherwise (unset, unparsable, or `0`)
+///   [`available_threads`].
+///
+/// The result is always ≥ 1.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    let from_env = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if from_env > 0 {
+        from_env
+    } else {
+        available_threads()
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` worker threads (0 ⇒ resolve via
+/// [`resolve_threads`]), returning the results **in input order**.
+///
+/// `f` receives `(index, &item)`. Work is distributed dynamically (an
+/// atomic cursor), but each result is written into its own pre-indexed
+/// slot, so the output is byte-identical at every thread count. Runs
+/// inline, with no thread spawned, when one worker (or one item) suffices.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers have been joined.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    // Each worker keeps (index, result) pairs locally; the
+                    // joining thread scatters them into the slots, so no
+                    // lock sits on the compute path.
+                    let mut produced: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        produced.push((i, f(i, item)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            let produced = match handle.join() {
+                Ok(p) => p,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, value) in produced {
+                slots[i] = Some(value);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by exactly one worker"))
+        .collect()
+}
+
+/// Fallible [`par_map`]: maps `f` over `items` and returns either every
+/// success (in input order) or the error of the **lowest-indexed** failing
+/// item.
+///
+/// All items are evaluated even when one fails, so which error is returned
+/// never depends on thread scheduling — the sequential engine and every
+/// parallel configuration report the same error. A failing worker does not
+/// panic, deadlock, or poison anything: its `Err` simply wins the
+/// index-ordered scan at the end.
+///
+/// # Errors
+///
+/// The `Err` of the lowest-indexed item for which `f` returned `Err`.
+pub fn try_par_map<T, U, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    par_map(threads, items, f).into_iter().collect()
+}
+
+/// Maps `f` over contiguous chunks of `items` (the last chunk may be
+/// shorter), in parallel, returning per-chunk results in chunk order.
+///
+/// `f` receives `(chunk_index, chunk)`. `chunk_size` is clamped to ≥ 1.
+pub fn par_chunks<T, U, F>(threads: usize, items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let chunks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
+    par_map(threads, &chunks, |i, chunk| f(i, chunk))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_preserves_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let got = par_map(threads, &items, |_, &x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_passes_matching_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(3, &items, |i, &s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(8, &none, |_, &x| x).is_empty());
+        assert_eq!(par_map(8, &[42], |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = vec![1, 2, 3];
+        assert_eq!(par_map(100, &items, |_, &x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_indexed_error() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let got: Result<Vec<u32>, String> = try_par_map(threads, &items, |_, &x| {
+                if x % 30 == 17 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
+            // 17, 47, 77 all fail; 17 must win regardless of scheduling.
+            assert_eq!(got, Err("bad 17".to_string()), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_error_does_not_poison_successes() {
+        // After a failing batch, a fresh call on the same data succeeds:
+        // nothing is cached, locked, or left behind.
+        let items = vec![1, 2, 3];
+        let fail: Result<Vec<i32>, &str> =
+            try_par_map(4, &items, |_, &x| if x == 2 { Err("two") } else { Ok(x) });
+        assert_eq!(fail, Err("two"));
+        let ok: Result<Vec<i32>, &str> = try_par_map(4, &items, |_, &x| Ok(x * 2));
+        assert_eq!(ok, Ok(vec![2, 4, 6]));
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_chunk_order() {
+        let items: Vec<u64> = (0..10).collect();
+        let sums = par_chunks(4, &items, 3, |_, chunk| chunk.iter().sum::<u64>());
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+        // chunk_size 0 clamps to 1.
+        let ones = par_chunks(2, &items, 0, |_, chunk| chunk.len());
+        assert_eq!(ones, vec![1; 10]);
+    }
+
+    #[test]
+    fn resolve_threads_is_clamped_to_at_least_one() {
+        // Explicit requests pass through; 0 resolves to something >= 1 no
+        // matter what the machine or environment says.
+        assert_eq!(resolve_threads(3), 3);
+        assert!(resolve_threads(0) >= 1);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn every_item_is_computed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let got = par_map(7, &items, |_, &x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(got, items);
+        assert_eq!(calls.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_join() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, &items, |_, &x| {
+                if x == 9 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}
