@@ -42,7 +42,8 @@ pub struct Affine {
 }
 
 impl Affine {
-    fn int_const(k: i64) -> Self {
+    /// The constant integer `k` (no base, no symbolic terms).
+    pub fn int_const(k: i64) -> Self {
         Affine {
             base: Base::None,
             coeffs: BTreeMap::new(),
@@ -50,7 +51,8 @@ impl Affine {
         }
     }
 
-    fn of_reg(r: RegId) -> Self {
+    /// The symbolic value of register `r` (coefficient 1).
+    pub fn of_reg(r: RegId) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(r, 1);
         Affine {
@@ -60,7 +62,8 @@ impl Affine {
         }
     }
 
-    fn of_base(base: Base) -> Self {
+    /// A bare pointer to the start of `base`.
+    pub fn of_base(base: Base) -> Self {
         Affine {
             base,
             coeffs: BTreeMap::new(),
@@ -68,7 +71,9 @@ impl Affine {
         }
     }
 
-    fn add(&self, other: &Affine) -> Option<Affine> {
+    /// Sum of two forms; `None` when both carry a memory base (adding two
+    /// pointers has no affine meaning).
+    pub fn add(&self, other: &Affine) -> Option<Affine> {
         let base = match (&self.base, &other.base) {
             (b, Base::None) => b.clone(),
             (Base::None, b) => b.clone(),
@@ -86,7 +91,8 @@ impl Affine {
         })
     }
 
-    fn negate(&self) -> Option<Affine> {
+    /// `-self`; `None` for pointer-based forms.
+    pub fn negate(&self) -> Option<Affine> {
         if self.base != Base::None {
             return None;
         }
@@ -97,7 +103,8 @@ impl Affine {
         })
     }
 
-    fn scale(&self, k: i64) -> Option<Affine> {
+    /// `k · self`; `None` for pointer-based forms.
+    pub fn scale(&self, k: i64) -> Option<Affine> {
         if self.base != Base::None {
             return None;
         }
@@ -154,6 +161,20 @@ pub struct LoopAccessInfo {
     /// Number of conditional branches in the body beyond the loop's own
     /// exit tests.
     pub inner_branches: usize,
+}
+
+/// How many bytes an affine address advances per loop iteration: every
+/// induction variable steps once, and a pointer IV used as the base itself
+/// walks by its step.
+pub fn per_iteration_advance(addr: &Affine, ivs: &[InductionVar]) -> i64 {
+    let mut adv = 0i64;
+    for iv in ivs {
+        adv += addr.coeff(iv.reg) * iv.step;
+        if iv.is_pointer && addr.base == Base::LoopIn(iv.reg) {
+            adv += iv.step;
+        }
+    }
+    adv
 }
 
 /// Recognizes induction variables of `l`: registers `r` with exactly one

@@ -30,8 +30,11 @@
 
 #![deny(missing_docs)]
 
-mod affine;
+pub mod affine;
 pub mod costmodel;
 mod vectorizer;
 
-pub use vectorizer::{analyze_function, analyze_module, percent_packed, LoopDecision, Reason};
+pub use vectorizer::{
+    analyze_function, analyze_module, percent_packed, recurrence_info, LoopDecision, Reason,
+    Recurrence, RecurrenceInfo,
+};

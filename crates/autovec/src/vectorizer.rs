@@ -148,7 +148,7 @@ pub fn analyze_function(module: &Module, func: FuncId) -> Vec<LoopDecision> {
 
 /// Classification of floating-point register recurrences in a loop body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Recurrence {
+pub enum Recurrence {
     /// No FP value flows from one iteration to the next through registers.
     None,
     /// A pure accumulator (`acc = acc ⊕ x`): the accumulator is read only
@@ -159,6 +159,17 @@ enum Recurrence {
     /// computation (e.g. a lattice filter's forward value): genuinely
     /// serial.
     Impure,
+}
+
+/// The floating-point register recurrences of one loop body: the overall
+/// classification plus the candidate instructions sitting on a recurrence
+/// cycle (the statically serial statements).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecurrenceInfo {
+    /// Overall classification (worst SCC wins).
+    pub class: Recurrence,
+    /// FP candidate instructions on some register-dataflow cycle, sorted.
+    pub candidates: Vec<InstId>,
 }
 
 /// Detects floating-point register recurrences by examining cycles in the
@@ -172,15 +183,16 @@ enum Recurrence {
 /// identity copies, and none of the cycle's registers is read by any other
 /// in-loop instruction — intermediate prefix values must not escape, or
 /// reassociation would change observable results.
-fn classify_recurrence(
+pub fn recurrence_info(
     function: &vectorscope_ir::Function,
     l: &vectorscope_ir::loops::Loop,
-) -> Recurrence {
+) -> RecurrenceInfo {
     use std::collections::{HashMap, HashSet};
     use vectorscope_ir::RegId;
 
     // Instructions of the body, flattened, with per-instruction metadata.
     struct BodyInst {
+        id: InstId,
         is_copy: bool,
         is_candidate: bool,
         dst: Option<RegId>,
@@ -191,6 +203,7 @@ fn classify_recurrence(
         for inst in &function.block(b).insts {
             let is_copy = matches!(&inst.kind, InstKind::Cast { to, from, .. } if to == from);
             insts.push(BodyInst {
+                id: inst.id,
                 is_copy,
                 is_candidate: inst.is_fp_candidate(),
                 dst: inst.dst(),
@@ -239,7 +252,10 @@ fn classify_recurrence(
         .filter(|&r| reaches(r, r))
         .collect();
     if cyclic.is_empty() {
-        return Recurrence::None;
+        return RecurrenceInfo {
+            class: Recurrence::None,
+            candidates: Vec::new(),
+        };
     }
 
     // Partition cyclic regs into SCCs (r, s together iff mutually
@@ -259,6 +275,8 @@ fn classify_recurrence(
         sccs.push(scc);
     }
 
+    let mut impure = false;
+    let mut cand_ids: Vec<InstId> = Vec::new();
     for scc in &sccs {
         // Instructions with an edge inside this SCC.
         let mut scc_insts: HashSet<usize> = HashSet::new();
@@ -269,13 +287,20 @@ fn classify_recurrence(
                 }
             }
         }
+        cand_ids.extend(
+            scc_insts
+                .iter()
+                .filter(|&&i| insts[i].is_candidate)
+                .map(|&i| insts[i].id),
+        );
         let candidates = scc_insts.iter().filter(|&&i| insts[i].is_candidate).count();
         let non_copy_non_candidate = scc_insts
             .iter()
             .filter(|&&i| !insts[i].is_candidate && !insts[i].is_copy)
             .count();
         if candidates != 1 || non_copy_non_candidate != 0 {
-            return Recurrence::Impure;
+            impure = true;
+            continue;
         }
         // No SCC register may be read by an instruction outside the cycle:
         // that would consume intermediate prefix values.
@@ -284,11 +309,21 @@ fn classify_recurrence(
                 continue;
             }
             if bi.uses.iter().any(|u| scc.contains(u)) {
-                return Recurrence::Impure;
+                impure = true;
+                break;
             }
         }
     }
-    Recurrence::PureReduction
+    cand_ids.sort_by_key(|i| i.0);
+    cand_ids.dedup();
+    RecurrenceInfo {
+        class: if impure {
+            Recurrence::Impure
+        } else {
+            Recurrence::PureReduction
+        },
+        candidates: cand_ids,
+    }
 }
 
 fn decide(
@@ -343,7 +378,7 @@ fn decide(
         }
     }
 
-    match classify_recurrence(function, l) {
+    match recurrence_info(function, l).class {
         Recurrence::None => Ok(false),
         Recurrence::PureReduction => Ok(true),
         Recurrence::Impure => Err(Reason::LoopCarriedDependence),
@@ -352,15 +387,7 @@ fn decide(
 
 /// How many bytes the access's address advances per loop iteration.
 fn per_iteration_advance(a: &Access, ivs: &[InductionVar]) -> i64 {
-    let addr = a.addr.as_ref().expect("checked affine");
-    let mut adv = 0i64;
-    for iv in ivs {
-        adv += addr.coeff(iv.reg) * iv.step;
-        if iv.is_pointer && addr.base == Base::LoopIn(iv.reg) {
-            adv += iv.step;
-        }
-    }
-    adv
+    crate::affine::per_iteration_advance(a.addr.as_ref().expect("checked affine"), ivs)
 }
 
 fn check_pair(a: &Access, b: &Access, ivs: &[InductionVar]) -> Result<(), Reason> {

@@ -1,0 +1,119 @@
+//! Cost of the static dependence analysis relative to the dynamic
+//! pipeline it cross-validates.
+//!
+//! `vscope gap` runs both sides on every hot loop, so the static tests
+//! (ZIV/SIV/GCD/Banerjee over the affine forms) must be cheap next to
+//! trace capture + DDG construction + metrics — the contract is **under
+//! 5% of the dynamic pipeline's wall time** over the full `studies`
+//! suite. Results go to `BENCH_staticdep.json` at the repo root; the run
+//! fails if the ratio is exceeded, so a quadratic blow-up in the pair
+//! enumeration would be caught here before it quietly doubles CI time.
+
+use criterion::{black_box, Criterion};
+use std::time::Instant;
+use vectorscope::{analyze_sources, AnalysisOptions};
+use vectorscope_ir::Module;
+
+fn studies_programs() -> Vec<(String, String)> {
+    vectorscope_kernels::studies::kernels()
+        .into_iter()
+        .map(|k| (k.file_name(), k.source))
+        .collect()
+}
+
+/// Mean wall-clock nanoseconds of `f`, adaptively repeated until the
+/// measurement window is long enough to trust.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warm
+    let mut reps: u32 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_micros() >= 2_000 || reps >= 4096 {
+            return elapsed.as_nanos() as f64 / reps as f64;
+        }
+        reps *= 4;
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let programs = studies_programs();
+    let modules: Vec<Module> = programs
+        .iter()
+        .map(|(name, src)| vectorscope_frontend::compile(name, src).expect("kernel compiles"))
+        .collect();
+
+    // The static side: direction-vector tests over every loop of every
+    // compiled study kernel (what `vscope gap` adds on top of the
+    // dynamic run — compilation is shared, so it is excluded here).
+    let mut group = c.benchmark_group("staticdep");
+    group.bench_function("static_suite", |b| {
+        b.iter(|| {
+            modules
+                .iter()
+                .map(|m| vectorscope_staticdep::analyze_module(black_box(m)).len())
+                .sum::<usize>()
+        })
+    });
+
+    // The dynamic side it rides along with: the full trace-based pipeline
+    // (compile, interpret, DDG, Algorithm 1, stride metrics), sequential
+    // so the comparison is thread-count independent.
+    let options = AnalysisOptions {
+        threads: 1,
+        ..AnalysisOptions::default()
+    };
+    group.bench_function("dynamic_suite", |b| {
+        b.iter(|| {
+            let results = analyze_sources(black_box(&programs), &options);
+            assert!(results.iter().all(Result::is_ok));
+            results.len()
+        })
+    });
+    group.finish();
+
+    let results = c.results();
+    let static_ns = results
+        .iter()
+        .find(|r| r.id == "staticdep/static_suite")
+        .unwrap()
+        .ns_per_iter;
+    let dynamic_ns = results
+        .iter()
+        .find(|r| r.id == "staticdep/dynamic_suite")
+        .unwrap()
+        .ns_per_iter;
+    let pct = 100.0 * static_ns / dynamic_ns;
+
+    // Per-kernel breakdown of the static side, to localize a regression.
+    let per_kernel: Vec<String> = programs
+        .iter()
+        .zip(&modules)
+        .map(|((name, _), m)| {
+            let ns = time_ns(|| {
+                black_box(vectorscope_staticdep::analyze_module(m));
+            });
+            format!("    {{\"kernel\": \"{name}\", \"static_ns\": {ns:.1}}}")
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"staticdep\",\n  \"kernels\": {},\n  \"static_suite_ns\": {static_ns:.1},\n  \"dynamic_suite_ns\": {dynamic_ns:.1},\n  \"static_pct_of_dynamic\": {pct:.3},\n  \"budget_pct\": 5.0,\n  \"per_kernel\": [\n{}\n  ]\n}}\n",
+        programs.len(),
+        per_kernel.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_staticdep.json");
+    std::fs::write(path, &json).expect("write BENCH_staticdep.json");
+    println!(
+        "static dependence analysis: {pct:.3}% of the dynamic pipeline \
+         (written to BENCH_staticdep.json)"
+    );
+    assert!(
+        pct < 5.0,
+        "static analysis must stay under 5% of the dynamic pipeline, got {pct:.3}%"
+    );
+}

@@ -6,10 +6,12 @@
 //! vscope profile <file.kern>
 //! vscope vectorize <file.kern>
 //! vscope trace <file.kern> [--out trace.bin]
-//! vscope ir <file.kern>
+//! vscope ir <file.kern> [--no-verify]
 //! vscope kernels
 //! vscope kernel <name> [<variant>] [--verbose]
 //! vscope triage <file.kern> [--threshold PCT]
+//! vscope gap <file.kern> [--json]
+//! vscope gap --all-kernels [--json]
 //! vscope table <1|2|3|4>
 //! vscope fig <1|2>
 //! ```
@@ -33,10 +35,13 @@ fn usage() -> ExitCode {
            vscope profile <file.kern>           show per-loop cycle profile\n\
            vscope vectorize <file.kern>         show model auto-vectorizer decisions\n\
            vscope trace <file.kern> [--out F]   capture a whole-program trace\n\
-           vscope ir <file.kern>                dump the compiled IR\n\
+           vscope ir <file.kern> [--no-verify]  verify and dump the compiled IR\n\
            vscope kernels                       list the built-in benchmark kernels\n\
            vscope kernel <name> [<variant>]     analyze a built-in kernel\n\
            vscope triage <file.kern>            rank loops by missed opportunity\n\
+           vscope gap <file.kern> [--json]      static dependence oracle: cross-validate\n\
+           vscope gap --all-kernels [--json]    static vs. dynamic analysis (exit 1 on\n\
+                                                any oracle violation)\n\
            vscope parallelism <file.kern>       Kumar critical-path profile (prior work)\n\
            vscope ddg <file.kern> [--out F.dot] export the DDG as Graphviz DOT\n\
            vscope suite                         characterize the built-in kernel suite\n\
@@ -61,6 +66,7 @@ fn main() -> ExitCode {
         "kernels" => cmd_kernels(),
         "kernel" => cmd_kernel(rest),
         "triage" => cmd_triage(rest),
+        "gap" => cmd_gap(rest),
         "parallelism" => cmd_parallelism(rest),
         "ddg" => cmd_ddg(rest),
         "suite" => cmd_suite(rest),
@@ -255,8 +261,37 @@ fn cmd_ir(rest: &[String]) -> CliResult {
     let path = positional(rest, 0).ok_or("ir: missing <file.kern>")?;
     let source = read_source(path)?;
     let module = vectorscope_frontend::compile(path, &source)?;
+    if !flag(rest, "--no-verify") {
+        if let Err(e) = vectorscope_ir::verify::verify_module(&module) {
+            let line = verify_error_line(&module, &e);
+            eprintln!(
+                "{path}:{line}: warning: verifier: {} (in `{}`)",
+                e.message, e.func
+            );
+            eprintln!("printing the IR anyway; pass --no-verify to silence this check");
+        }
+    }
     println!("{module}");
     Ok(())
+}
+
+/// Best-effort source line for a verifier diagnostic: the first
+/// instruction of the offending block (the verifier reports function and
+/// block, not spans).
+fn verify_error_line(
+    module: &vectorscope_ir::Module,
+    e: &vectorscope_ir::verify::VerifyError,
+) -> u32 {
+    let Some(func) = module.lookup_function(&e.func) else {
+        return 0;
+    };
+    let function = module.function(func);
+    let block = function.block(e.block.unwrap_or_else(|| function.entry()));
+    block
+        .insts
+        .first()
+        .map(|i| i.span.line)
+        .unwrap_or_else(|| block.terminator().span.line)
 }
 
 fn cmd_kernels() -> CliResult {
@@ -402,6 +437,64 @@ fn cmd_triage(rest: &[String]) -> CliResult {
         );
     }
     Ok(())
+}
+
+/// The static dependence oracle (`vscope gap`): run the dynamic analysis
+/// and the static direction/distance-vector analysis on the same hot
+/// loops, cross-validate (witness, bound, and stride obligations), and
+/// report the classified static↔dynamic gap. Exits non-zero when any
+/// oracle obligation fails — the CI contract.
+fn cmd_gap(rest: &[String]) -> CliResult {
+    use vectorscope::gap::{analyze_gap, analyze_gap_sources, render_gap};
+    use vectorscope::json::gap_suite_json;
+    let options = analysis_options(rest)?;
+    let json = flag(rest, "--json");
+
+    let mut violations: Vec<String> = Vec::new();
+    if flag(rest, "--all-kernels") {
+        let kernels = vectorscope_kernels::all_kernels();
+        let programs: Vec<(String, String)> = kernels
+            .iter()
+            .map(|k| (k.file_name(), k.source.clone()))
+            .collect();
+        let results = analyze_gap_sources(&programs, &options);
+        let mut rows: Vec<String> = Vec::new();
+        for (kernel, result) in kernels.iter().zip(results) {
+            let suite = match result {
+                Ok(s) => s,
+                Err(e) => return Err(format!("{}: {e}", kernel.file_name()).into()),
+            };
+            violations.extend(suite.violations());
+            if json {
+                rows.push(format!(
+                    "{{\"kernel\":\"{}\",\"loops\":{}}}",
+                    kernel.file_name(),
+                    gap_suite_json(&suite)
+                ));
+            } else {
+                println!("# {}", kernel.file_name());
+                print!("{}", render_gap(&suite));
+            }
+        }
+        if json {
+            println!("[{}]", rows.join(","));
+        }
+    } else {
+        let path = positional(rest, 0).ok_or("gap: missing <file.kern> (or --all-kernels)")?;
+        let source = read_source(path)?;
+        let suite = analyze_gap(path, &source, &options)?;
+        violations.extend(suite.violations());
+        if json {
+            println!("{}", gap_suite_json(&suite));
+        } else {
+            print!("{}", render_gap(&suite));
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("gap oracle: {} violation(s)", violations.len()).into())
+    }
 }
 
 /// Characterizes the whole built-in kernel suite — the paper's

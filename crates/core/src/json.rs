@@ -116,6 +116,87 @@ pub fn suite_json(reports: &[LoopReport]) -> String {
     format!("[{}]", rows.join(","))
 }
 
+fn witness_json(w: &crate::gap::WitnessCheck) -> String {
+    format!(
+        "{{\"source\":{},\"source_line\":{},\"sink\":{},\"sink_line\":{},\
+         \"distance\":{},\"min_trip\":{},\"witnessed\":{},\"shadowed\":{}}}",
+        w.source.0,
+        w.source_line,
+        w.sink.0,
+        w.sink_line,
+        w.distance
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "null".into()),
+        w.min_trip,
+        w.witnessed,
+        w.shadowed,
+    )
+}
+
+fn bound_json(b: &crate::gap::BoundCheck) -> String {
+    format!(
+        "{{\"inst\":{},\"line\":{},\"bound\":{},\"from_reduction\":{},\
+         \"instances\":{},\"avg_partition_size\":{},\"violated\":{}}}",
+        b.inst.0,
+        b.line,
+        b.bound,
+        b.from_reduction,
+        b.instances,
+        num(b.avg_partition_size),
+        b.violated(),
+    )
+}
+
+fn loop_gap_json(l: &crate::gap::LoopGap) -> String {
+    use crate::gap::StrideOracle;
+    use vectorscope_staticdep::Verdict as PairVerdict;
+    let (mut pd, mut pi, mut unk) = (0usize, 0usize, 0usize);
+    for p in &l.dep.pairs {
+        match p.verdict {
+            PairVerdict::ProvenDependence(_) => pd += 1,
+            PairVerdict::ProvenIndependence => pi += 1,
+            PairVerdict::Unknown(_) => unk += 1,
+        }
+    }
+    let causes: Vec<String> = l.causes.iter().map(|c| format!("\"{c}\"")).collect();
+    let witnesses: Vec<String> = l.witnesses.iter().map(witness_json).collect();
+    let bounds: Vec<String> = l.bounds.iter().map(bound_json).collect();
+    format!(
+        "{{\"module\":\"{}\",\"function\":\"{}\",\"line\":{},\"percent_cycles\":{},\
+         \"exact\":{},\"innermost\":{},\"observed_trip\":{},\
+         \"pairs\":{{\"proven_dep\":{},\"proven_indep\":{},\"unknown\":{}}},\
+         \"causes\":[{}],\"witnesses\":[{}],\"bounds\":[{}],\
+         \"stride_oracle\":\"{}\",\"gap_pct\":{},\"verdict\":\"{}\"}}",
+        escape(&l.report.module_name),
+        escape(&l.report.func_name),
+        l.report.loop_line,
+        num(l.report.percent_cycles),
+        l.dep.exact,
+        l.dep.innermost,
+        l.observed_trip,
+        pd,
+        pi,
+        unk,
+        causes.join(","),
+        witnesses.join(","),
+        bounds.join(","),
+        match l.stride {
+            StrideOracle::NotApplicable => "n/a",
+            StrideOracle::Consistent => "ok",
+            StrideOracle::Violated => "violated",
+        },
+        num(l.gap_pct),
+        escape(&l.verdict.to_string()),
+    )
+}
+
+/// Renders a cross-validated gap suite ([`crate::gap::analyze_gap`]) as a
+/// JSON array, one object per hot loop.
+pub fn gap_suite_json(suite: &crate::gap::GapSuite) -> String {
+    let rows: Vec<String> = suite.loops.iter().map(loop_gap_json).collect();
+    format!("[{}]", rows.join(","))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

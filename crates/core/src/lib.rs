@@ -62,6 +62,7 @@
 
 pub mod control;
 mod driver;
+pub mod gap;
 pub mod json;
 pub mod metrics;
 pub mod partition;
@@ -74,6 +75,7 @@ pub use driver::{
     analyze_loop, analyze_program, analyze_source, analyze_sources, AnalysisOptions, Error,
     InstancePick, LoopAnalysis, ProgramAnalysis, SuiteReport,
 };
+pub use gap::{analyze_gap, analyze_gap_sources, GapSuite, LoopGap};
 pub use metrics::{InstMetrics, LoopMetrics, VecLengthHistogram};
 pub use partition::{partition, partition_all, Partitions};
 pub use report::LoopReport;

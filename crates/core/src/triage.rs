@@ -11,6 +11,7 @@
 //! §4.4-style control-regularity signal into a recommendation.
 
 use crate::report::LoopReport;
+use vectorscope_staticdep::GapCause;
 
 /// The recommendation for one hot loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,9 +21,21 @@ pub enum Verdict {
     /// High potential, regular control flow, compiler failed: a missed
     /// opportunity worth expert (or compiler-writer) attention.
     MissedOpportunity,
+    /// High potential that the static model cannot reach only because a
+    /// pointer's provenance is unknown: a `restrict` annotation or runtime
+    /// disambiguation would likely unlock it.
+    AliasLimited,
+    /// High potential hidden behind indirect subscripts (`a[idx[i]]`,
+    /// 435.gromacs-style): gather/scatter support or an index-set rewrite
+    /// is needed, not a smarter dependence test.
+    IndirectionLimited,
     /// Potential exists only at non-unit stride: consider a data-layout
     /// transformation (transpose, AoS→SoA).
     NeedsLayoutChange,
+    /// The loop is serial because of a reduction recurrence the analysis
+    /// did not break: reassociation (`-ffast-math`-style) would expose the
+    /// parallelism the dynamic run confirms is absent only on the chain.
+    ReductionSerial,
     /// Potential exists but control flow is highly data-dependent
     /// (453.povray): hard to realize without algorithmic change.
     IrregularControl,
@@ -36,7 +49,10 @@ impl std::fmt::Display for Verdict {
         let s = match self {
             Verdict::AlreadyVectorized => "already vectorized",
             Verdict::MissedOpportunity => "MISSED OPPORTUNITY",
+            Verdict::AliasLimited => "blocked by possible aliasing",
+            Verdict::IndirectionLimited => "blocked by indirection",
             Verdict::NeedsLayoutChange => "needs data-layout change",
+            Verdict::ReductionSerial => "serial reduction chain",
             Verdict::IrregularControl => "irregular control flow",
             Verdict::NoPotential => "no SIMD potential",
         };
@@ -110,16 +126,39 @@ pub fn triage(report: &LoopReport, t: &TriageThresholds) -> Verdict {
     Verdict::MissedOpportunity
 }
 
+/// Refines [`triage`] with the static dependence oracle's gap causes
+/// (`vscope gap`): a dynamic verdict of *missed opportunity* becomes
+/// *alias-limited* or *indirection-limited* when the static analysis
+/// recorded the corresponding obstruction, and *no potential* becomes
+/// *reduction-serial* when the only thing serializing the loop is a
+/// recurrence chain that reassociation could break. The refinement tells
+/// the expert **which tool** unlocks the loop, not just that one exists.
+pub fn triage_with_gap(report: &LoopReport, limits: &[GapCause], t: &TriageThresholds) -> Verdict {
+    match triage(report, t) {
+        Verdict::MissedOpportunity if limits.contains(&GapCause::MayAlias) => Verdict::AliasLimited,
+        Verdict::MissedOpportunity if limits.contains(&GapCause::Indirection) => {
+            Verdict::IndirectionLimited
+        }
+        Verdict::NoPotential if limits.contains(&GapCause::ReductionChain) => {
+            Verdict::ReductionSerial
+        }
+        v => v,
+    }
+}
+
 /// Triage an entire suite of reports; returns `(report index, verdict)`
 /// pairs with missed opportunities first, then layout candidates, ordered
 /// by percent of cycles within each class.
 pub fn triage_suite(reports: &[LoopReport], t: &TriageThresholds) -> Vec<(usize, Verdict)> {
     let rank = |v: Verdict| match v {
         Verdict::MissedOpportunity => 0,
-        Verdict::NeedsLayoutChange => 1,
-        Verdict::IrregularControl => 2,
-        Verdict::AlreadyVectorized => 3,
-        Verdict::NoPotential => 4,
+        Verdict::AliasLimited => 1,
+        Verdict::IndirectionLimited => 2,
+        Verdict::NeedsLayoutChange => 3,
+        Verdict::ReductionSerial => 4,
+        Verdict::IrregularControl => 5,
+        Verdict::AlreadyVectorized => 6,
+        Verdict::NoPotential => 7,
     };
     let mut out: Vec<(usize, Verdict)> = reports
         .iter()
@@ -213,5 +252,94 @@ mod tests {
         let mut r = report(0.0, 90.0, 0.0, 0.0);
         r.percent_packed = None;
         assert_eq!(triage(&r, &t), Verdict::MissedOpportunity);
+    }
+
+    #[test]
+    fn gap_causes_refine_missed_opportunities() {
+        let t = TriageThresholds::default();
+        let missed = report(0.0, 90.0, 0.0, 0.0);
+        assert_eq!(
+            triage_with_gap(&missed, &[GapCause::MayAlias], &t),
+            Verdict::AliasLimited
+        );
+        assert_eq!(
+            triage_with_gap(&missed, &[GapCause::Indirection], &t),
+            Verdict::IndirectionLimited
+        );
+        // Aliasing is the first obstruction to clear when both apply.
+        assert_eq!(
+            triage_with_gap(&missed, &[GapCause::MayAlias, GapCause::Indirection], &t),
+            Verdict::AliasLimited
+        );
+        // Without an obstruction the base verdict stands.
+        assert_eq!(
+            triage_with_gap(&missed, &[], &t),
+            Verdict::MissedOpportunity
+        );
+    }
+
+    #[test]
+    fn reduction_chain_refines_no_potential() {
+        let t = TriageThresholds::default();
+        let serial = report(0.0, 5.0, 0.0, 0.0);
+        assert_eq!(
+            triage_with_gap(&serial, &[GapCause::ReductionChain], &t),
+            Verdict::ReductionSerial
+        );
+        assert_eq!(triage_with_gap(&serial, &[], &t), Verdict::NoPotential);
+        // A reduction chain on a loop with realized potential does not
+        // demote it.
+        let missed = report(0.0, 90.0, 0.0, 0.0);
+        assert_eq!(
+            triage_with_gap(&missed, &[GapCause::ReductionChain], &t),
+            Verdict::MissedOpportunity
+        );
+    }
+
+    #[test]
+    fn gap_causes_do_not_override_other_verdicts() {
+        let t = TriageThresholds::default();
+        // Already vectorized and irregular-control loops keep their verdict
+        // regardless of recorded static obstructions.
+        assert_eq!(
+            triage_with_gap(&report(95.0, 100.0, 0.0, 0.0), &[GapCause::MayAlias], &t),
+            Verdict::AlreadyVectorized
+        );
+        assert_eq!(
+            triage_with_gap(&report(0.0, 90.0, 0.0, 0.9), &[GapCause::Indirection], &t),
+            Verdict::IrregularControl
+        );
+        assert_eq!(
+            triage_with_gap(&report(0.0, 10.0, 60.0, 0.0), &[GapCause::MayAlias], &t),
+            Verdict::NeedsLayoutChange
+        );
+    }
+
+    #[test]
+    fn every_verdict_has_a_distinct_display() {
+        let all = [
+            Verdict::AlreadyVectorized,
+            Verdict::MissedOpportunity,
+            Verdict::AliasLimited,
+            Verdict::IndirectionLimited,
+            Verdict::NeedsLayoutChange,
+            Verdict::ReductionSerial,
+            Verdict::IrregularControl,
+            Verdict::NoPotential,
+        ];
+        let shown: std::collections::HashSet<String> = all.iter().map(|v| v.to_string()).collect();
+        assert_eq!(shown.len(), all.len());
+    }
+
+    #[test]
+    fn suite_ordering_ranks_gap_verdicts_between_missed_and_layout() {
+        let t = TriageThresholds::default();
+        let reports = vec![
+            report(0.0, 10.0, 60.0, 0.0), // layout
+            report(0.0, 90.0, 0.0, 0.0),  // missed
+        ];
+        let order = triage_suite(&reports, &t);
+        assert_eq!(order[0].0, 1);
+        assert_eq!(order[1].0, 0);
     }
 }

@@ -245,6 +245,33 @@ impl Ddg {
         self.op_writers.iter().filter(|&&w| w != EXTERNAL).count()
     }
 
+    /// Finds a dynamic flow edge from an instance of static instruction
+    /// `source` to an instance of `sink`, returning the `(writer, reader)`
+    /// node pair of the first such edge in execution order.
+    ///
+    /// This is the static↔dynamic witness query: a statically proven flow
+    /// dependence whose distance fits the observed trip count must show up
+    /// here, or the DDG dropped an edge.
+    pub fn find_flow_edge(&self, source: InstId, sink: InstId) -> Option<(u32, u32)> {
+        for n in 0..self.nodes.len() as u32 {
+            if self.nodes[n as usize].inst != sink {
+                continue;
+            }
+            for w in self.preds(n) {
+                if self.nodes[w as usize].inst == source {
+                    return Some((w, n));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether any dynamic flow edge runs from an instance of `source` to
+    /// an instance of `sink`.
+    pub fn has_flow_edge(&self, source: InstId, sink: InstId) -> bool {
+        self.find_flow_edge(source, sink).is_some()
+    }
+
     /// Builds a DDG directly from node descriptions, without a trace.
     ///
     /// Intended for tests and tools that want to exercise the analyses on

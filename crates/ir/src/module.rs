@@ -256,6 +256,15 @@ impl Module {
         id
     }
 
+    /// Resets the static-id counter after the parser re-applies the ids
+    /// recorded in printed `#id` comments (which may exceed the count the
+    /// rebuild emitted, e.g. when the original module had been built
+    /// against a shared module-wide counter).
+    pub(crate) fn set_next_inst_id(&mut self, next: u32) {
+        self.next_inst_id = self.next_inst_id.max(next);
+        self.invalidate_loc_cache();
+    }
+
     pub(crate) fn push_function(&mut self, func: Function) -> FuncId {
         let id = FuncId(self.funcs.len() as u32);
         self.funcs.push(func);

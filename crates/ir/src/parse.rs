@@ -1,10 +1,11 @@
 //! Parser for the textual IR format produced by the pretty-printer.
 //!
 //! Mirrors LLVM's `.ll` / Cranelift's `.clif` round-trip convention: any
-//! module printed with `Display` re-parses to an equal module (modulo
-//! static instruction ids, which are renumbered in print order, and source
-//! spans, which are taken from the `@line:col` comments). Useful for
-//! writing analysis test cases as text and for golden tests.
+//! module printed with `Display` re-parses to a module that prints
+//! byte-identically — static instruction ids and source spans are
+//! recovered from the `; #id @line:col` comments (hand-written IR may
+//! omit them, in which case ids are assigned in textual order). Useful
+//! for writing analysis test cases as text and for golden tests.
 
 use crate::func::BlockId;
 use crate::inst::{BinOp, CmpOp, Intrinsic, Span, UnOp};
@@ -64,6 +65,8 @@ struct RawLine {
     line_no: u32,
     text: String,
     span: Span,
+    /// Static id recovered from the `#id` comment, when present.
+    id: Option<u32>,
 }
 
 struct RawBlock {
@@ -167,9 +170,10 @@ impl<'s> Parser<'s> {
             .iter()
             .map(|f| module.declare_function(&f.name, &f.params, f.ret))
             .collect();
-        for (raw, id) in raw_funcs.iter().zip(ids) {
+        for (raw, &id) in raw_funcs.iter().zip(&ids) {
             build_function(&mut module, raw, id)?;
         }
+        apply_static_ids(&mut module, &raw_funcs, &ids);
         Ok(module)
     }
 
@@ -239,7 +243,7 @@ impl<'s> Parser<'s> {
                 continue;
             }
             // Instruction line: strip the trailing `; #id @span` comment.
-            let (text, span) = split_comment(line);
+            let (text, span, id) = split_comment(line);
             let Some(block) = blocks.last_mut() else {
                 return self.err(ln2, "instruction before first block label");
             };
@@ -247,6 +251,7 @@ impl<'s> Parser<'s> {
                 line_no: ln2,
                 text: text.to_string(),
                 span,
+                id,
             });
         }
         Ok(RawFunc {
@@ -260,8 +265,8 @@ impl<'s> Parser<'s> {
     }
 }
 
-/// Splits `inst text  ; #id @line:col` and recovers the span.
-fn split_comment(line: &str) -> (&str, Span) {
+/// Splits `inst text  ; #id @line:col` and recovers the span and static id.
+fn split_comment(line: &str) -> (&str, Span, Option<u32>) {
     match line.split_once(';') {
         Some((text, comment)) => {
             let span = comment
@@ -272,9 +277,13 @@ fn split_comment(line: &str) -> (&str, Span) {
                     Some(Span::new(l.parse().ok()?, c.parse().ok()?))
                 })
                 .unwrap_or(Span::SYNTH);
-            (text.trim(), span)
+            let id = comment
+                .split_whitespace()
+                .find_map(|w| w.strip_prefix('#'))
+                .and_then(|s| s.parse().ok());
+            (text.trim(), span, id)
         }
-        None => (line.trim(), Span::SYNTH),
+        None => (line.trim(), Span::SYNTH, None),
     }
 }
 
@@ -305,6 +314,48 @@ fn parse_value(s: &str) -> Option<Value> {
 
 fn parse_block_ref(s: &str) -> Option<BlockId> {
     s.trim().strip_prefix("bb")?.parse().ok().map(BlockId)
+}
+
+/// Re-applies the `#id` static instruction ids recorded in printed
+/// comments. The rebuild numbers instructions in *emission* order (here:
+/// textual order), but the original module may have been built with
+/// interleaved `switch_to` calls, so its printed ids need not be textually
+/// sorted — without this pass such modules would not round-trip
+/// byte-identically. Applied only when every line in the module carries an
+/// id and the ids are unique; otherwise (hand-written IR without
+/// comments) the rebuild's sequential numbering stands.
+fn apply_static_ids(module: &mut Module, raw_funcs: &[RawFunc], ids: &[FuncId]) {
+    let mut seen = std::collections::HashSet::new();
+    let mut max = 0u32;
+    for raw in raw_funcs {
+        for block in &raw.blocks {
+            for l in &block.insts {
+                let Some(id) = l.id else { return };
+                if !seen.insert(id) {
+                    return;
+                }
+                max = max.max(id);
+            }
+        }
+    }
+    if seen.is_empty() {
+        return;
+    }
+    for (raw, &fid) in raw_funcs.iter().zip(ids) {
+        let mut func = module.take_function(fid);
+        for (bi, rb) in raw.blocks.iter().enumerate() {
+            let block = func.block_mut(BlockId(bi as u32));
+            let (term_line, inst_lines) = rb.insts.split_last().expect("blocks are non-empty");
+            for (inst, l) in block.insts.iter_mut().zip(inst_lines) {
+                inst.id = crate::InstId(l.id.expect("checked above"));
+            }
+            if let Some(t) = block.term.as_mut() {
+                t.id = crate::InstId(term_line.id.expect("checked above"));
+            }
+        }
+        module.replace_function(fid, func);
+    }
+    module.set_next_inst_id(max + 1);
 }
 
 /// Second pass over one function: infer register types from definitions,

@@ -1,0 +1,314 @@
+//! Print→parse round-trip property for *structured* IR: random
+//! builder-generated functions with real control flow (loops, diamonds),
+//! calls across functions, mixed f32/f64 arithmetic, frame slots, and
+//! source spans.
+//!
+//! The in-crate `parse::proptests` cover random straight-line bodies; this
+//! integration suite covers what those cannot: multi-block CFGs whose
+//! round-trip must preserve block structure, terminator targets, call
+//! callees, and span comments byte-for-byte. The property is
+//! `parse(print(m))` prints identically to `print(m)` and still verifies.
+
+use proptest::prelude::*;
+use vectorscope_ir::parse::parse_module;
+use vectorscope_ir::{
+    BinOp, CmpOp, FunctionBuilder, GlobalId, Intrinsic, Module, ScalarTy, Span, UnOp, Value,
+};
+
+/// One statement of a loop body, drawn from a grammar that exercises every
+/// instruction family the printer knows.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// f64 arithmetic on existing values.
+    F64Bin(u8, u8, u8),
+    /// f32 arithmetic (single-precision printing/parsing path).
+    F32Bin(u8, u8),
+    /// Negate then widen f32 → f64.
+    WidenF32(u8),
+    /// Load, combine, store through a strided global address.
+    Mem(u8, i64, i64),
+    /// Spill to and reload from a fresh frame slot.
+    Frame(u8),
+    /// A unary intrinsic call.
+    Intrin(u8, u8),
+    /// Call the helper function with an existing f64.
+    Call(u8),
+    /// An integer compare feeding nothing (printer must keep dead defs).
+    Cmp(u8),
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| Stmt::F64Bin(a, b, c)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Stmt::F32Bin(a, b)),
+        any::<u8>().prop_map(Stmt::WidenF32),
+        (any::<u8>(), 1i64..64, -32i64..32).prop_map(|(a, s, o)| Stmt::Mem(a, s, o)),
+        any::<u8>().prop_map(Stmt::Frame),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Stmt::Intrin(a, b)),
+        any::<u8>().prop_map(Stmt::Call),
+        any::<u8>().prop_map(Stmt::Cmp),
+    ]
+}
+
+/// Shape of the generated control-flow graph.
+#[derive(Debug, Clone)]
+struct Shape {
+    /// Loop trip-count bound (printed as an immediate).
+    trip: i64,
+    /// Whether the loop body contains an if/else diamond.
+    diamond: bool,
+    /// Whether the function tail re-checks a condition after the loop
+    /// (a second, loop-free diamond exercising forward branches).
+    tail_branch: bool,
+    /// Statements for the loop body (split across the diamond when
+    /// present).
+    body: Vec<Stmt>,
+    /// Source line seed for spans.
+    line: u32,
+}
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (
+        1i64..100,
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(arb_stmt(), 1..8),
+        1u32..500,
+    )
+        .prop_map(|(trip, diamond, tail_branch, body, line)| Shape {
+            trip,
+            diamond,
+            tail_branch,
+            body,
+            line,
+        })
+}
+
+/// Builds the random module: a `helper(f64) -> f64` plus a structured
+/// `f(i64, f32)` whose CFG follows `shape`.
+fn build(shape: &Shape) -> Module {
+    let mut m = Module::new("fuzz_cfg");
+    m.add_global("g", 4096, None);
+
+    // Helper callee: one block, one multiply, returns its argument scaled.
+    let helper = {
+        let mut b = FunctionBuilder::new(&mut m, "helper", &[ScalarTy::F64], Some(ScalarTy::F64));
+        let x = b.param(0);
+        let y = b.binop(
+            BinOp::FMul,
+            ScalarTy::F64,
+            Value::Reg(x),
+            Value::ImmFloat(1.5),
+        );
+        b.ret(Some(Value::Reg(y)));
+        b.finish()
+    };
+
+    let mut b = FunctionBuilder::new(&mut m, "f", &[ScalarTy::I64, ScalarTy::F32], None);
+    let n = b.param(0);
+    let f32_seed = b.param(1);
+    b.set_span(Span {
+        line: shape.line,
+        col: 1,
+    });
+
+    // Entry: seed values, the induction variable, then jump to the header.
+    let iv = b.new_named_reg(ScalarTy::I64, "i");
+    b.copy(iv, Value::ImmInt(0), ScalarTy::I64);
+    let seed64 = b.cast(ScalarTy::F32, ScalarTy::F64, Value::Reg(f32_seed));
+    let base = b.global_addr(GlobalId(0));
+
+    let header = b.new_block();
+    let body_bb = b.new_block();
+    let exit = b.new_block();
+    b.br(header);
+
+    // Header: i < trip ?
+    b.switch_to(header);
+    b.set_span(Span {
+        line: shape.line + 1,
+        col: 3,
+    });
+    let cond = b.cmp(
+        CmpOp::Lt,
+        ScalarTy::I64,
+        Value::Reg(iv),
+        Value::ImmInt(shape.trip),
+    );
+    b.cond_br(Value::Reg(cond), body_bb, exit);
+
+    // Body, optionally split into an if/else diamond at its midpoint.
+    b.switch_to(body_bb);
+    let mut f64s = vec![seed64];
+    let mut f32s = vec![f32_seed];
+    let emit = |b: &mut FunctionBuilder,
+                f64s: &mut Vec<vectorscope_ir::RegId>,
+                f32s: &mut Vec<vectorscope_ir::RegId>,
+                stmt: &Stmt| {
+        match stmt {
+            Stmt::F64Bin(i, j, k) => {
+                let lhs = Value::Reg(f64s[*i as usize % f64s.len()]);
+                let rhs = Value::Reg(f64s[*j as usize % f64s.len()]);
+                let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul][*k as usize % 3];
+                let r = b.binop(op, ScalarTy::F64, lhs, rhs);
+                f64s.push(r);
+            }
+            Stmt::F32Bin(i, k) => {
+                let lhs = Value::Reg(f32s[*i as usize % f32s.len()]);
+                let op = [BinOp::FAdd, BinOp::FMul][*k as usize % 2];
+                let r = b.binop(op, ScalarTy::F32, lhs, Value::ImmFloat(0.25));
+                f32s.push(r);
+            }
+            Stmt::WidenF32(i) => {
+                let v = Value::Reg(f32s[*i as usize % f32s.len()]);
+                let neg = b.unop(UnOp::FNeg, ScalarTy::F32, v);
+                let wide = b.cast(ScalarTy::F32, ScalarTy::F64, Value::Reg(neg));
+                f64s.push(wide);
+            }
+            Stmt::Mem(i, scale, off) => {
+                let p = b.gep(Value::Reg(base), vec![(Value::Reg(iv), *scale)], *off);
+                let x = b.load(ScalarTy::F64, Value::Reg(p));
+                let v = Value::Reg(f64s[*i as usize % f64s.len()]);
+                let y = b.binop(BinOp::FAdd, ScalarTy::F64, Value::Reg(x), v);
+                b.store(ScalarTy::F64, Value::Reg(p), Value::Reg(y));
+                f64s.push(y);
+            }
+            Stmt::Frame(i) => {
+                let off = b.alloc_stack(8, 8);
+                let slot = b.frame_addr(off);
+                let v = Value::Reg(f64s[*i as usize % f64s.len()]);
+                b.store(ScalarTy::F64, Value::Reg(slot), v);
+                let back = b.load(ScalarTy::F64, Value::Reg(slot));
+                f64s.push(back);
+            }
+            Stmt::Intrin(i, k) => {
+                let v = Value::Reg(f64s[*i as usize % f64s.len()]);
+                let which = [Intrinsic::Sqrt, Intrinsic::Fabs, Intrinsic::Sin][*k as usize % 3];
+                let r = b.intrinsic(which, ScalarTy::F64, vec![v]);
+                f64s.push(r);
+            }
+            Stmt::Call(i) => {
+                let v = Value::Reg(f64s[*i as usize % f64s.len()]);
+                let r = b.call(helper, vec![v]).expect("helper returns f64");
+                f64s.push(r);
+            }
+            Stmt::Cmp(i) => {
+                let v = Value::Reg(f64s[*i as usize % f64s.len()]);
+                b.cmp(CmpOp::Ge, ScalarTy::F64, v, Value::ImmFloat(0.0));
+            }
+        }
+    };
+
+    let split = shape.body.len() / 2;
+    for (k, stmt) in shape.body.iter().enumerate() {
+        b.set_span(Span {
+            line: shape.line + 2 + k as u32,
+            col: 5,
+        });
+        if shape.diamond && k == split {
+            // Midpoint diamond: branch on the iv's parity proxy (iv < half),
+            // each arm does one multiply into the same fresh register, then
+            // re-join. Both arms define `merged`, so the join may use it.
+            let then_bb = b.new_block();
+            let else_bb = b.new_block();
+            let join = b.new_block();
+            let c = b.cmp(
+                CmpOp::Lt,
+                ScalarTy::I64,
+                Value::Reg(iv),
+                Value::ImmInt(shape.trip / 2),
+            );
+            b.cond_br(Value::Reg(c), then_bb, else_bb);
+            let merged = b.new_named_reg(ScalarTy::F64, "merged");
+            b.switch_to(then_bb);
+            let last = Value::Reg(*f64s.last().expect("seeded"));
+            b.binop_into(
+                merged,
+                BinOp::FMul,
+                ScalarTy::F64,
+                last,
+                Value::ImmFloat(2.0),
+            );
+            b.br(join);
+            b.switch_to(else_bb);
+            b.binop_into(
+                merged,
+                BinOp::FMul,
+                ScalarTy::F64,
+                last,
+                Value::ImmFloat(0.5),
+            );
+            b.br(join);
+            b.switch_to(join);
+            f64s.push(merged);
+        }
+        emit(&mut b, &mut f64s, &mut f32s, stmt);
+    }
+
+    // Latch: i++ and back to the header.
+    let next = b.binop(BinOp::IAdd, ScalarTy::I64, Value::Reg(iv), Value::ImmInt(1));
+    b.copy(iv, Value::Reg(next), ScalarTy::I64);
+    b.br(header);
+
+    // Exit, optionally through one more forward diamond.
+    b.switch_to(exit);
+    if shape.tail_branch {
+        let t = b.new_block();
+        let e = b.new_block();
+        let c = b.cmp(CmpOp::Eq, ScalarTy::I64, Value::Reg(n), Value::ImmInt(0));
+        b.cond_br(Value::Reg(c), t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+    } else {
+        b.ret(None);
+    }
+    b.finish();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `parse(print(m))` prints back byte-identically and still verifies,
+    /// for random structured CFGs.
+    #[test]
+    fn structured_cfgs_roundtrip(shape in arb_shape()) {
+        let m = build(&shape);
+        vectorscope_ir::verify::verify_module(&m).expect("built module verifies");
+        let text = m.to_string();
+        let back = parse_module(&text).unwrap_or_else(|e| {
+            panic!("reparse failed: {e}\n--- printed IR ---\n{text}")
+        });
+        prop_assert_eq!(back.to_string(), text, "print→parse→print diverged");
+        vectorscope_ir::verify::verify_module(&back).expect("reparsed module verifies");
+    }
+}
+
+/// A fixed worst-case: every construct at once, checked without
+/// randomness so a failure here is immediately reproducible.
+#[test]
+fn kitchen_sink_roundtrips() {
+    let shape = Shape {
+        trip: 17,
+        diamond: true,
+        tail_branch: true,
+        body: vec![
+            Stmt::F64Bin(0, 0, 2),
+            Stmt::F32Bin(0, 1),
+            Stmt::WidenF32(1),
+            Stmt::Mem(0, 8, -8),
+            Stmt::Frame(0),
+            Stmt::Intrin(0, 0),
+            Stmt::Call(1),
+            Stmt::Cmp(0),
+        ],
+        line: 42,
+    };
+    let m = build(&shape);
+    vectorscope_ir::verify::verify_module(&m).expect("verifies");
+    let text = m.to_string();
+    let back = parse_module(&text).expect("parses");
+    assert_eq!(back.to_string(), text);
+}

@@ -9,8 +9,8 @@
 //! proptest-generated random programs.
 
 use proptest::prelude::*;
-use vectorscope::json::suite_json;
-use vectorscope::{analyze_source, analyze_sources, AnalysisOptions};
+use vectorscope::json::{gap_suite_json, suite_json};
+use vectorscope::{analyze_gap, analyze_source, analyze_sources, AnalysisOptions};
 
 /// Analyzes at a given thread count and renders the canonical JSON report.
 fn report_json(name: &str, source: &str, threads: usize) -> String {
@@ -35,6 +35,34 @@ fn every_bundled_kernel_is_identical_at_1_2_and_7_threads() {
                 "{name}: report diverged from the sequential engine at {threads} threads"
             );
         }
+    }
+}
+
+/// The static↔dynamic cross-validation inherits the determinism contract:
+/// `vscope gap` output (witness/bound/stride obligations, gap percentages,
+/// verdicts) is byte-identical at every thread count.
+#[test]
+fn gap_reports_are_identical_at_1_2_and_7_threads() {
+    for kernel in vectorscope_kernels::studies::kernels() {
+        let name = kernel.file_name();
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 7] {
+            let options = AnalysisOptions {
+                threads,
+                ..AnalysisOptions::default()
+            };
+            let suite = analyze_gap(&name, &kernel.source, &options)
+                .unwrap_or_else(|e| panic!("{name} failed to cross-validate: {e}"));
+            reports.push(gap_suite_json(&suite));
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "{name}: gap report diverged at 2 threads"
+        );
+        assert_eq!(
+            reports[0], reports[2],
+            "{name}: gap report diverged at 7 threads"
+        );
     }
 }
 

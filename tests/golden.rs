@@ -17,8 +17,8 @@
 //! and review the diff like any other code change.
 
 use std::path::PathBuf;
-use vectorscope::json::suite_json;
-use vectorscope::{analyze_source, AnalysisOptions};
+use vectorscope::json::{gap_suite_json, suite_json};
+use vectorscope::{analyze_gap, analyze_source, AnalysisOptions};
 use vectorscope_kernels::Kernel;
 
 fn golden_dir() -> PathBuf {
@@ -50,14 +50,30 @@ fn render(kernel: &Kernel) -> String {
     json
 }
 
-#[test]
-fn paper_and_study_kernels_match_their_golden_reports() {
+/// The `vscope gap` cross-validation snapshot for one kernel (the
+/// `.gap.json` files): witness/bound/stride obligations and the classified
+/// static↔dynamic gap, rendered at one thread like the report snapshots.
+fn render_gap(kernel: &Kernel) -> String {
+    let options = AnalysisOptions {
+        threads: 1,
+        ..AnalysisOptions::default()
+    };
+    let suite = analyze_gap(&kernel.file_name(), &kernel.source, &options)
+        .unwrap_or_else(|e| panic!("{} failed to cross-validate: {e}", kernel.file_name()));
+    let mut json = gap_suite_json(&suite);
+    json.push('\n');
+    json
+}
+
+/// Shared snapshot driver for both golden families (`.json` reports and
+/// `.gap.json` cross-validations).
+fn check_snapshots(suffix: &str, render_one: impl Fn(&Kernel) -> String) {
     let update = std::env::var("UPDATE_GOLDEN").is_ok();
     let dir = golden_dir();
     let mut diverged = Vec::new();
     for kernel in golden_kernels() {
-        let json = render(&kernel);
-        let path = dir.join(format!("{}.json", kernel.file_name()));
+        let json = render_one(&kernel);
+        let path = dir.join(format!("{}{suffix}", kernel.file_name()));
         if update {
             std::fs::create_dir_all(&dir).expect("create tests/golden");
             std::fs::write(&path, &json).expect("write golden file");
@@ -89,11 +105,26 @@ fn paper_and_study_kernels_match_their_golden_reports() {
 }
 
 #[test]
+fn paper_and_study_kernels_match_their_golden_reports() {
+    check_snapshots(".json", render);
+}
+
+#[test]
+fn paper_and_study_kernels_match_their_golden_gap_reports() {
+    check_snapshots(".gap.json", render_gap);
+}
+
+#[test]
 fn golden_directory_has_no_stale_files() {
     // A renamed kernel must not leave its old snapshot behind silently.
     let expected: Vec<String> = golden_kernels()
         .iter()
-        .map(|k| format!("{}.json", k.file_name()))
+        .flat_map(|k| {
+            [
+                format!("{}.json", k.file_name()),
+                format!("{}.gap.json", k.file_name()),
+            ]
+        })
         .collect();
     for entry in std::fs::read_dir(golden_dir()).expect("tests/golden exists") {
         let name = entry.expect("dir entry").file_name();
