@@ -1,0 +1,21 @@
+use vectorscope_staticdep::*;
+
+#[test]
+fn dim_split_soundness_probe() {
+    // Flat array: store writes a[j*8+i] for i in 0..8, load reads a[j*8+i+4].
+    // Store at iteration p and load at iteration q touch the same element
+    // when p = q+4 (e.g. store@4 writes index j*8+4, read@0 reads j*8+4):
+    // a real in-loop dependence at distance 4.
+    let m = vectorscope_frontend::compile(
+        "t.kern",
+        "const int N = 8; double a[N*N+8];\n\
+         void main() { for (int j = 0; j < N; j++) {\n\
+           for (int i = 0; i < N; i++) { a[j*N+i] = a[j*N+i+4] * 0.5; } } }",
+    )
+    .expect("compiles");
+    let deps: Vec<LoopDep> = analyze_module(&m).into_iter().filter(|d| d.innermost).collect();
+    let d = &deps[0];
+    for p in &d.pairs {
+        println!("pair test={:?} verdict={:?}", p.test, p.verdict);
+    }
+}
