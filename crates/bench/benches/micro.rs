@@ -40,6 +40,7 @@ fn program_trace(src: &str) -> (vectorscope_ir::Module, Trace) {
     vm.set_capture(CaptureSpec::Program, "bench");
     vm.run_main().unwrap();
     let trace = vm.take_trace().unwrap();
+    drop(vm); // the VM borrows `module`, which moves below
     (module, trace)
 }
 

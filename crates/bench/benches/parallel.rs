@@ -60,6 +60,7 @@ fn build_ddg(n: usize) -> (vectorscope_ir::Module, Ddg) {
     vm.set_capture(CaptureSpec::Program, "parallel");
     vm.run_main().unwrap();
     let trace = vm.take_trace().unwrap();
+    drop(vm); // the VM borrows `module`, which moves below
     let ddg = Ddg::build(&module, &trace);
     (module, ddg)
 }

@@ -1,0 +1,117 @@
+//! Peak-memory and wall-time comparison of the streaming bounded-memory
+//! engine against the batch trace + DDG pipeline.
+//!
+//! The streaming engine's claim is architectural: peak analysis state
+//! scales with *live* program state (register/memory shadow tables) plus
+//! candidate instances (operand-tuple accumulators), not with trace
+//! length. This bench takes the bundled kernel with the longest
+//! whole-program trace, measures both engines end-to-end on it, and
+//! records the byte counts to `BENCH_streaming.json` at the repo root.
+//!
+//! The trailing assertion is the CI gate from the engine's design budget:
+//! streaming peak resident state must be at most 25% of the batch DDG's
+//! resident bytes (a ≥ 4× reduction) on that kernel.
+
+use criterion::{black_box, Criterion};
+use vectorscope::{analyze_program, stream_program, AnalysisOptions};
+use vectorscope_ddg::Ddg;
+use vectorscope_interp::{CaptureSpec, Vm};
+use vectorscope_kernels::Kernel;
+
+/// The bundled kernel with the longest whole-program trace — the case
+/// where trace-proportional batch state is most expensive.
+fn longest_kernel() -> (Kernel, usize) {
+    let mut best: Option<(Kernel, usize)> = None;
+    for kernel in vectorscope_kernels::all_kernels() {
+        let module = kernel.compile().expect("bundled kernel compiles");
+        let mut vm = Vm::new(&module);
+        vm.set_capture(CaptureSpec::Program, "len");
+        vm.run_main().expect("bundled kernel runs");
+        let len = vm.take_trace().expect("capture armed").len();
+        if best.as_ref().map(|(_, l)| len > *l).unwrap_or(true) {
+            best = Some((kernel, len));
+        }
+    }
+    best.expect("bundled kernels exist")
+}
+
+fn main() {
+    let (kernel, trace_len) = longest_kernel();
+    let name = kernel.file_name();
+    let module = kernel.compile().expect("kernel compiles");
+    let options = AnalysisOptions {
+        threads: 1,
+        ..AnalysisOptions::default()
+    };
+
+    // Memory: materialize the batch pipeline's state once, stream once.
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, &name);
+    vm.run_main().expect("kernel runs");
+    let trace = vm.take_trace().expect("capture armed");
+    drop(vm);
+    let ddg = Ddg::build(&module, &trace);
+    let trace_bytes = trace.approx_bytes();
+    let ddg_bytes = ddg.memory_bytes();
+    drop((trace, ddg));
+
+    let outcome = stream_program(&module, &options).expect("kernel streams");
+    let stats = outcome.stats;
+    let streaming_peak = stats.peak_resident_bytes();
+
+    // Wall time: both engines end-to-end (execution included in both).
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("streaming/longest_kernel");
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            black_box(analyze_program(&module, &options))
+                .expect("analyzes")
+                .metrics
+                .total_ops
+        })
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| {
+            black_box(stream_program(&module, &options))
+                .expect("streams")
+                .metrics
+                .total_ops
+        })
+    });
+    group.finish();
+    let results = criterion.results();
+    let batch_ns = results
+        .iter()
+        .find(|r| r.id == "streaming/longest_kernel/batch")
+        .unwrap()
+        .ns_per_iter;
+    let streaming_ns = results
+        .iter()
+        .find(|r| r.id == "streaming/longest_kernel/streaming")
+        .unwrap()
+        .ns_per_iter;
+
+    let reduction_vs_ddg = ddg_bytes as f64 / streaming_peak.max(1) as f64;
+    let reduction_vs_pipeline = (ddg_bytes + trace_bytes) as f64 / streaming_peak.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"streaming\",\n  \"kernel\": \"{name}\",\n  \"trace_events\": {trace_len},\n  \
+         \"batch_ddg_bytes\": {ddg_bytes},\n  \"batch_trace_bytes\": {trace_bytes},\n  \
+         \"streaming_peak_bytes\": {streaming_peak},\n  \
+         \"streaming_peak_shadow_bytes\": {},\n  \"streaming_peak_accumulator_bytes\": {},\n  \
+         \"reduction_vs_batch_ddg\": {reduction_vs_ddg:.2},\n  \
+         \"reduction_vs_batch_pipeline\": {reduction_vs_pipeline:.2},\n  \
+         \"batch_ns\": {batch_ns:.1},\n  \"streaming_ns\": {streaming_ns:.1}\n}}\n",
+        stats.peak_shadow_bytes, stats.peak_accumulator_bytes,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    std::fs::write(path, &json).expect("write BENCH_streaming.json");
+    println!(
+        "{name}: {trace_len} events; streaming peak {streaming_peak} B vs batch DDG {ddg_bytes} B \
+         ({reduction_vs_ddg:.1}x lower; written to BENCH_streaming.json)"
+    );
+    assert!(
+        streaming_peak <= ddg_bytes / 4,
+        "streaming peak ({streaming_peak} B) must be at most 25% of the batch DDG \
+         ({ddg_bytes} B) on the longest bundled kernel"
+    );
+}

@@ -13,6 +13,7 @@ fn trace_program(name: &str, src: &str) -> (vectorscope_ir::Module, Ddg) {
     vm.set_capture(CaptureSpec::Program, name);
     vm.run_main().expect("figure program runs");
     let trace = vm.take_trace().expect("trace captured");
+    drop(vm); // the VM's capture state borrows `module`, which moves below
     let ddg = Ddg::build(&module, &trace);
     (module, ddg)
 }

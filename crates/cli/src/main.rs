@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! vscope analyze <file.kern> [--threshold PCT] [--break-reductions]
-//!                            [--integer-ops] [--verbose] [--json]
+//!                            [--integer-ops] [--streaming] [--verbose] [--json]
+//! vscope stats <file.kern> [--integer-ops] [--json]
 //! vscope profile <file.kern>
 //! vscope vectorize <file.kern>
 //! vscope trace <file.kern> [--out trace.bin]
@@ -32,6 +33,13 @@ fn usage() -> ExitCode {
                           [--threads N]       analysis worker threads (0 = auto;\n\
                                               also via VSCOPE_THREADS; results are\n\
                                               identical at every thread count)\n\
+                          [--streaming]       bounded-memory engine: analyze trace\n\
+                                              events as they are emitted (reports\n\
+                                              are byte-identical to the default\n\
+                                              batch engine)\n\
+           vscope stats <file.kern> [--json]    stream a whole run and report the\n\
+                                                engine's observability counters and\n\
+                                                peak memory vs. the batch pipeline\n\
            vscope profile <file.kern>           show per-loop cycle profile\n\
            vscope vectorize <file.kern>         show model auto-vectorizer decisions\n\
            vscope trace <file.kern> [--out F]   capture a whole-program trace\n\
@@ -59,6 +67,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "analyze" => cmd_analyze(rest),
+        "stats" => cmd_stats(rest),
         "profile" => cmd_profile(rest),
         "vectorize" => cmd_vectorize(rest),
         "trace" => cmd_trace(rest),
@@ -127,6 +136,7 @@ fn analysis_options(rest: &[String]) -> Result<AnalysisOptions, Box<dyn std::err
     let mut options = AnalysisOptions {
         break_reductions: flag(rest, "--break-reductions"),
         include_integer_ops: flag(rest, "--integer-ops"),
+        streaming: flag(rest, "--streaming"),
         ..AnalysisOptions::default()
     };
     if let Some(t) = opt_value(rest, "--threshold") {
@@ -189,6 +199,73 @@ fn cmd_analyze(rest: &[String]) -> CliResult {
         flag(rest, "--verbose"),
         flag(rest, "--json"),
     )
+}
+
+/// Streams a whole run through the bounded-memory engine and reports its
+/// per-phase observability counters, then rebuilds the same run through
+/// the batch pipeline (trace + DDG) for a peak-memory comparison. The
+/// counters live here — never in `vscope analyze` output, whose bytes are
+/// contractually identical between the two engines.
+fn cmd_stats(rest: &[String]) -> CliResult {
+    let path = positional(rest, 0).ok_or("stats: missing <file.kern>")?;
+    let source = read_source(path)?;
+    let module = vectorscope_frontend::compile(path, &source)?;
+    let options = analysis_options(rest)?;
+
+    let outcome = vectorscope::stream_program(&module, &options)?;
+    let s = &outcome.stats;
+
+    // Batch-pipeline footprint for the same run: the materialized trace
+    // plus the DDG the streaming engine never builds.
+    let mut vm = Vm::new(&module);
+    vm.set_capture(CaptureSpec::Program, path);
+    vm.run_main()?;
+    let trace = vm.take_trace().expect("capture armed");
+    let ddg = vectorscope_ddg::Ddg::build(&module, &trace);
+    let trace_bytes = trace.approx_bytes();
+    let ddg_bytes = ddg.memory_bytes();
+    let streaming_peak = s.peak_resident_bytes();
+
+    if flag(rest, "--json") {
+        println!(
+            "{{\"events\":{},\"nodes\":{},\"candidate_instances\":{},\"partitions\":{},\
+             \"peak_reg_shadow\":{},\"peak_mem_shadow\":{},\"peak_shadow_bytes\":{},\
+             \"peak_accumulator_bytes\":{},\"streaming_peak_bytes\":{},\
+             \"batch_ddg_bytes\":{},\"batch_trace_bytes\":{}}}",
+            s.events,
+            s.nodes,
+            s.candidate_instances,
+            s.partitions,
+            s.peak_reg_shadow,
+            s.peak_mem_shadow,
+            s.peak_shadow_bytes,
+            s.peak_accumulator_bytes,
+            streaming_peak,
+            ddg_bytes,
+            trace_bytes,
+        );
+        return Ok(());
+    }
+    println!("streaming engine counters for {path}:");
+    println!("  events consumed        {:>14}", s.events);
+    println!("  dynamic nodes          {:>14}", s.nodes);
+    println!("  candidate instances    {:>14}", s.candidate_instances);
+    println!("  partitions             {:>14}", s.partitions);
+    println!("  peak register shadows  {:>14}", s.peak_reg_shadow);
+    println!("  peak memory shadows    {:>14}", s.peak_mem_shadow);
+    println!("  peak shadow bytes      {:>14}", s.peak_shadow_bytes);
+    println!("  peak accumulator bytes {:>14}", s.peak_accumulator_bytes);
+    println!("  peak resident bytes    {:>14}", streaming_peak);
+    println!("batch pipeline for the same run:");
+    println!("  DDG bytes              {:>14}", ddg_bytes);
+    println!("  trace bytes            {:>14}", trace_bytes);
+    let denom = ddg_bytes.max(1);
+    println!(
+        "streaming peak = {:.1}% of the batch DDG ({:.1}% of DDG + trace)",
+        streaming_peak as f64 * 100.0 / denom as f64,
+        streaming_peak as f64 * 100.0 / (ddg_bytes + trace_bytes).max(1) as f64
+    );
+    Ok(())
 }
 
 fn cmd_profile(rest: &[String]) -> CliResult {

@@ -2,7 +2,10 @@
 
 use crate::metrics::{analyze_ddg, MetricOptions};
 use crate::report::LoopReport;
-use vectorscope_ddg::{CandidatePolicy, Ddg};
+use crate::stream::{StreamOutcome, StreamingAnalyzer};
+use std::cell::RefCell;
+use std::rc::Rc;
+use vectorscope_ddg::{BuildError, CandidatePolicy, Ddg};
 use vectorscope_frontend::CompileError;
 use vectorscope_interp::{CaptureSpec, Vm, VmError, VmOptions};
 use vectorscope_ir::loops::LoopId;
@@ -30,6 +33,13 @@ pub enum Error {
         /// What the missing trace was supposed to cover.
         what: String,
     },
+    /// The captured region held more dynamic instances than `u32` node ids
+    /// can express (see [`vectorscope_ddg::BuildError`]); both engines
+    /// surface this instead of silently corrupting dependences.
+    TraceTooLarge {
+        /// How many nodes the region tried to create.
+        nodes: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -43,6 +53,9 @@ impl std::fmt::Display for Error {
             Error::TraceUnavailable { what } => {
                 write!(f, "no trace available for {what} despite an armed capture")
             }
+            Error::TraceTooLarge { nodes } => {
+                write!(f, "{}", BuildError::TraceTooLarge { nodes: *nodes })
+            }
         }
     }
 }
@@ -52,7 +65,9 @@ impl std::error::Error for Error {
         match self {
             Error::Compile(e) => Some(e),
             Error::Vm(e) => Some(e),
-            Error::EmptyTrace { .. } | Error::TraceUnavailable { .. } => None,
+            Error::EmptyTrace { .. }
+            | Error::TraceUnavailable { .. }
+            | Error::TraceTooLarge { .. } => None,
         }
     }
 }
@@ -66,6 +81,14 @@ impl From<CompileError> for Error {
 impl From<VmError> for Error {
     fn from(e: VmError) -> Self {
         Error::Vm(e)
+    }
+}
+
+impl From<BuildError> for Error {
+    fn from(e: BuildError) -> Self {
+        match e {
+            BuildError::TraceTooLarge { nodes } => Error::TraceTooLarge { nodes },
+        }
     }
 }
 
@@ -108,6 +131,13 @@ pub struct AnalysisOptions {
     /// else the machine's available parallelism, clamped to ≥ 1. Reports
     /// are bit-identical at every thread count.
     pub threads: usize,
+    /// Use the streaming bounded-memory engine ([`crate::stream`]) instead
+    /// of materializing traces and DDGs (default off). Reports are
+    /// byte-identical to the batch engine's; peak analysis memory scales
+    /// with live state + candidate instances instead of trace length.
+    /// Combined with `break_reductions` the driver silently falls back to
+    /// the batch engine — reduction-chain discovery needs the whole graph.
+    pub streaming: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -119,6 +149,7 @@ impl Default for AnalysisOptions {
             include_integer_ops: false,
             fuel: 2_000_000_000,
             threads: 0,
+            streaming: false,
         }
     }
 }
@@ -206,13 +237,47 @@ pub fn analyze_program(
     let trace = vm.take_trace().ok_or_else(|| Error::TraceUnavailable {
         what: format!("program capture of `{}`", module.name()),
     })?;
-    let ddg = Ddg::build_with_policy(module, &trace, options.candidate_policy());
+    let ddg = Ddg::try_build_with_policy(module, &trace, options.candidate_policy())?;
     let (metrics, per_inst) = analyze_ddg(module, &ddg, &options.metric_options());
     Ok(ProgramAnalysis {
         metrics,
         per_inst,
         ddg,
     })
+}
+
+/// Streams the entire execution of `main` through the bounded-memory
+/// engine: the analytical twin of [`analyze_program`] that never
+/// materializes a trace or DDG, returning byte-identical metrics plus the
+/// engine's observability counters ([`crate::StreamStats`]).
+///
+/// `break_reductions` is not supported by the streaming engine and is
+/// ignored here; callers wanting the reduction extension should use
+/// [`analyze_program`].
+///
+/// # Errors
+///
+/// Returns [`Error::Vm`] if execution fails and [`Error::TraceTooLarge`]
+/// if the run exceeds `u32` instance ids (the same limit as the batch
+/// builder).
+pub fn stream_program(module: &Module, options: &AnalysisOptions) -> Result<StreamOutcome, Error> {
+    let cell = Rc::new(RefCell::new(StreamingAnalyzer::new(
+        module,
+        options.candidate_policy(),
+    )));
+    let sink_cell = Rc::clone(&cell);
+    let mut vm = Vm::with_options(module, options.vm_options());
+    vm.add_sink(
+        CaptureSpec::Program,
+        Box::new(move |e| sink_cell.borrow_mut().consume(e)),
+    );
+    vm.run_main()?;
+    drop(vm); // releases the sink closure's Rc clone
+    let analyzer = Rc::try_unwrap(cell)
+        .ok()
+        .expect("sink closure dropped with the VM")
+        .into_inner();
+    Ok(analyzer.finish(&options.metric_options())?)
 }
 
 /// Compiles `source`, profiles a full run of `main`, selects hot loops
@@ -253,8 +318,12 @@ pub fn analyze_source(
         percent: f64,
         n_traces: usize,
     }
+    // With `break_reductions` the analysis needs the whole dependence
+    // graph, so the streaming engine silently defers to the batch one.
+    let use_streaming = options.streaming && !options.break_reductions;
     let mut cap_vm = Vm::with_options(&module, options.vm_options());
     let mut plans: Vec<Plan> = Vec::new();
+    let mut cells: Vec<Rc<RefCell<StreamingAnalyzer<'_>>>> = Vec::new();
     for h in &hot {
         let func = h.profile.key.func;
         let loop_id = h.profile.key.loop_id;
@@ -269,14 +338,22 @@ pub fn analyze_source(
         let label = format!("{}:{}", function.name(), line);
         let instances = sampled_instances(options.loop_instance, h.profile.entries);
         for &instance in &instances {
-            cap_vm.add_capture(
-                CaptureSpec::Loop {
-                    func,
-                    loop_id,
-                    instance,
-                },
-                &label,
-            );
+            let spec = CaptureSpec::Loop {
+                func,
+                loop_id,
+                instance,
+            };
+            if use_streaming {
+                let cell = Rc::new(RefCell::new(StreamingAnalyzer::new(
+                    &module,
+                    options.candidate_policy(),
+                )));
+                let sink_cell = Rc::clone(&cell);
+                cap_vm.add_sink(spec, Box::new(move |e| sink_cell.borrow_mut().consume(e)));
+                cells.push(cell);
+            } else {
+                cap_vm.add_capture(spec, &label);
+            }
         }
         plans.push(Plan {
             func,
@@ -286,8 +363,57 @@ pub fn analyze_source(
             n_traces: instances.len(),
         });
     }
+    // Both VMs hold boxed capture state borrowing `module`; drop them
+    // before `module` moves into the returned report. The profiling VM's
+    // last use was `forests()` in the plan loop above.
+    drop(vm);
     if !plans.is_empty() {
         cap_vm.run_main()?;
+    }
+
+    if use_streaming {
+        drop(cap_vm); // releases the sink closures' Rc clones
+        let mut analyzers = cells.into_iter().map(|c| {
+            Rc::try_unwrap(c)
+                .ok()
+                .expect("sink closures dropped with the VM")
+                .into_inner()
+        });
+        let mut loops = Vec::with_capacity(plans.len());
+        for p in plans {
+            let plan_analyzers: Vec<_> = analyzers.by_ref().take(p.n_traces).collect();
+            let Some(outcome) = best_of_streams(plan_analyzers, &options.metric_options())? else {
+                return Err(Error::EmptyTrace {
+                    func: module.function(p.func).name().to_string(),
+                    line: p.line,
+                });
+            };
+            let mut report = make_report(
+                &module,
+                p.func,
+                p.loop_id,
+                p.line,
+                p.percent,
+                outcome.metrics,
+                outcome.per_inst,
+                outcome.nodes,
+            );
+            report.control_irregularity = crate::control::loop_irregularity(
+                &module,
+                p.func,
+                p.loop_id,
+                &inst_counts,
+                &branch_taken,
+            );
+            loops.push(report);
+        }
+        drop(analyzers); // analyzers borrow `module`, which moves below
+        loops.sort_by(|a, b| {
+            b.percent_cycles
+                .partial_cmp(&a.percent_cycles)
+                .expect("percentages are finite")
+        });
+        return Ok(SuiteReport { module, loops });
     }
 
     // Hand each plan its slice of the captured traces and fan the
@@ -299,6 +425,7 @@ pub fn analyze_source(
     // inside each worker stays single-threaded ([`AnalysisOptions::
     // worker_metric_options`]) unless there is only one plan to analyze.
     let mut traces = cap_vm.take_traces().into_iter();
+    drop(cap_vm);
     let work: Vec<(Plan, Vec<vectorscope_trace::Trace>)> = plans
         .into_iter()
         .map(|p| {
@@ -313,7 +440,7 @@ pub fn analyze_source(
     };
     let mut loops = rayon_lite::try_par_map(options.threads, &work, |_, (p, loop_traces)| {
         let Some((ddg, metrics, per_inst)) =
-            best_of_traces(&module, options, &metric_options, loop_traces)
+            best_of_traces(&module, options, &metric_options, loop_traces)?
         else {
             return Err(Error::EmptyTrace {
                 func: module.function(p.func).name().to_string(),
@@ -321,7 +448,14 @@ pub fn analyze_source(
             });
         };
         let mut report = make_report(
-            &module, p.func, p.loop_id, p.line, p.percent, metrics, per_inst, &ddg,
+            &module,
+            p.func,
+            p.loop_id,
+            p.line,
+            p.percent,
+            metrics,
+            per_inst,
+            ddg.len(),
         );
         report.control_irregularity = crate::control::loop_irregularity(
             &module,
@@ -429,11 +563,14 @@ fn best_of_traces(
     options: &AnalysisOptions,
     metric_options: &MetricOptions,
     traces: &[vectorscope_trace::Trace],
-) -> Option<(
-    Ddg,
-    crate::metrics::LoopMetrics,
-    Vec<crate::metrics::InstMetrics>,
-)> {
+) -> Result<
+    Option<(
+        Ddg,
+        crate::metrics::LoopMetrics,
+        Vec<crate::metrics::InstMetrics>,
+    )>,
+    Error,
+> {
     let mut best: Option<(
         Ddg,
         crate::metrics::LoopMetrics,
@@ -443,7 +580,7 @@ fn best_of_traces(
         if trace.is_empty() {
             continue;
         }
-        let ddg = Ddg::build_with_policy(module, trace, options.candidate_policy());
+        let ddg = Ddg::try_build_with_policy(module, trace, options.candidate_policy())?;
         let (metrics, per_inst) = analyze_ddg(module, &ddg, metric_options);
         let better = match &best {
             None => true,
@@ -453,7 +590,33 @@ fn best_of_traces(
             best = Some((ddg, metrics, per_inst));
         }
     }
-    best
+    Ok(best)
+}
+
+/// The streaming counterpart of [`best_of_traces`]: finishes each armed
+/// analyzer for one plan and keeps the outcome with the most candidate
+/// operations (ties go to the earliest instance, matching the batch
+/// engine's strict `>` comparison). Analyzers that saw no events
+/// correspond to empty traces and are skipped.
+fn best_of_streams(
+    analyzers: Vec<StreamingAnalyzer<'_>>,
+    metric_options: &MetricOptions,
+) -> Result<Option<StreamOutcome>, Error> {
+    let mut best: Option<StreamOutcome> = None;
+    for analyzer in analyzers {
+        if analyzer.events() == 0 {
+            continue;
+        }
+        let outcome = analyzer.finish(metric_options)?;
+        let better = match &best {
+            None => true,
+            Some(b) => outcome.metrics.total_ops > b.metrics.total_ops,
+        };
+        if better {
+            best = Some(outcome);
+        }
+    }
+    Ok(best)
 }
 
 fn analyze_loop_inner(
@@ -498,7 +661,8 @@ fn analyze_loop_inner(
         options,
         &options.metric_options(),
         &vm.take_traces(),
-    ) else {
+    )?
+    else {
         return Err(Error::EmptyTrace {
             func: function.name().to_string(),
             line,
@@ -512,7 +676,7 @@ fn analyze_loop_inner(
         percent_cycles,
         metrics,
         per_inst,
-        &ddg,
+        ddg.len(),
     );
     Ok(LoopAnalysis { report, ddg })
 }
@@ -527,7 +691,7 @@ fn make_report(
     percent_cycles: f64,
     metrics: crate::metrics::LoopMetrics,
     per_inst: Vec<crate::metrics::InstMetrics>,
-    ddg: &Ddg,
+    ddg_nodes: usize,
 ) -> LoopReport {
     LoopReport {
         module_name: module.name().to_string(),
@@ -540,7 +704,7 @@ fn make_report(
         control_irregularity: 0.0,
         metrics,
         per_inst,
-        ddg_nodes: ddg.len(),
+        ddg_nodes,
     }
 }
 

@@ -68,16 +68,18 @@ pub mod metrics;
 pub mod partition;
 pub mod reduction;
 pub mod report;
+pub mod stream;
 pub mod stride;
 pub mod triage;
 
 pub use driver::{
-    analyze_loop, analyze_program, analyze_source, analyze_sources, AnalysisOptions, Error,
-    InstancePick, LoopAnalysis, ProgramAnalysis, SuiteReport,
+    analyze_loop, analyze_program, analyze_source, analyze_sources, stream_program,
+    AnalysisOptions, Error, InstancePick, LoopAnalysis, ProgramAnalysis, SuiteReport,
 };
 pub use gap::{analyze_gap, analyze_gap_sources, GapSuite, LoopGap};
 pub use metrics::{InstMetrics, LoopMetrics, VecLengthHistogram};
 pub use partition::{partition, partition_all, Partitions};
 pub use report::LoopReport;
+pub use stream::{StreamOutcome, StreamStats, StreamingAnalyzer};
 pub use stride::{non_unit_stride, unit_stride, StrideReport};
 pub use vectorscope_ddg::CandidatePolicy;

@@ -146,23 +146,33 @@ pub struct MetricOptions {
     pub threads: usize,
 }
 
-/// Runs the full per-instruction analysis over one DDG and aggregates the
-/// paper's table metrics.
+/// One candidate instruction's partitioning outcome plus its per-partition
+/// stride reports, ready for aggregation — the engine-neutral handoff into
+/// [`assemble`].
 ///
-/// Returns the aggregate row plus the per-instruction breakdown (sorted by
-/// instance count, descending).
-pub fn analyze_ddg(
-    module: &Module,
-    ddg: &Ddg,
-    options: &MetricOptions,
-) -> (LoopMetrics, Vec<InstMetrics>) {
-    let reductions = if options.break_reductions {
-        reduction_chains(module, ddg)
-    } else {
-        Vec::new()
-    };
-    let empty: HashSet<u32> = HashSet::new();
+/// Both the batch engine ([`analyze_ddg`]) and the streaming engine
+/// (`crate::stream`) reduce their work to a `Vec<LaneOutcome>` in candidate
+/// first-appearance order, so the aggregation arithmetic (and therefore
+/// every float in the report) lives in exactly one place.
+pub(crate) struct LaneOutcome {
+    pub inst: InstId,
+    pub span: Span,
+    pub instances: u64,
+    pub partitions: u64,
+    pub avg_partition_size: f64,
+    pub reduction: bool,
+    /// One report per partition, in timestamp order.
+    pub reports: Vec<StrideReport>,
+}
 
+/// Aggregates per-candidate outcomes into the paper's table metrics.
+///
+/// This is the single source of truth for the report arithmetic: per-lane
+/// totals accumulate in lane order, `per_inst` is stably sorted by instance
+/// count (descending), and every ratio is computed from `u64` totals — so
+/// two engines that produce equal `LaneOutcome`s produce byte-identical
+/// reports.
+pub(crate) fn assemble(lanes: Vec<LaneOutcome>) -> (LoopMetrics, Vec<InstMetrics>) {
     let mut per_inst = Vec::new();
     let mut vec_lengths = VecLengthHistogram::default();
     let mut total_ops = 0u64;
@@ -172,55 +182,20 @@ pub fn analyze_ddg(
     let mut non_unit_ops = 0u64;
     let mut non_unit_subparts = 0u64;
 
-    // One fused forward scan partitions every candidate at once (the old
-    // code re-ran the full Algorithm 1 scan per candidate instruction).
-    let insts = ddg.candidate_insts();
-    let chains: Vec<Option<&crate::reduction::ReductionChain>> = insts
-        .iter()
-        .map(|&inst| reductions.iter().find(|c| c.inst == inst))
-        .collect();
-    let ignores: Vec<&HashSet<u32>> = chains
-        .iter()
-        .map(|chain| chain.map(|c| &c.chain_nodes).unwrap_or(&empty))
-        .collect();
-    let all_parts = partition_all(ddg, &insts, &ignores);
-
-    // The stride stage is the hot path and embarrassingly parallel: each
-    // (candidate, partition) pair is an independent sort + waitlist scan.
-    // Fan the shards across the work pool; `par_map` hands results back in
-    // shard order, so the aggregation below is byte-identical to the
-    // sequential engine at every thread count.
-    let elems: Vec<u64> = insts.iter().map(|&inst| ddg.elem_size(inst)).collect();
-    let shards: Vec<(usize, usize)> = all_parts
-        .iter()
-        .enumerate()
-        .flat_map(|(c, parts)| (0..parts.groups.len()).map(move |g| (c, g)))
-        .collect();
-    let stride_reports: Vec<StrideReport> =
-        rayon_lite::par_map(options.threads, &shards, |_, &(c, g)| {
-            analyze_partition(ddg, &all_parts[c].groups[g], elems[c])
-        });
-    let mut stride_reports = stride_reports.into_iter();
-
-    for (parts, chain) in all_parts.iter().zip(chains) {
-        let inst = parts.inst;
-
+    for lane in lanes {
         let mut m = InstMetrics {
-            inst,
-            span: module.span_of(inst),
-            instances: parts.num_instances() as u64,
-            partitions: parts.groups.len() as u64,
-            avg_partition_size: parts.average_size(),
+            inst: lane.inst,
+            span: lane.span,
+            instances: lane.instances,
+            partitions: lane.partitions,
+            avg_partition_size: lane.avg_partition_size,
             unit_ops: 0,
             unit_subparts: 0,
             non_unit_ops: 0,
             non_unit_subparts: 0,
-            reduction: chain.is_some(),
+            reduction: lane.reduction,
         };
-        for _ in &parts.groups {
-            let report: StrideReport = stride_reports
-                .next()
-                .expect("one stride report per (candidate, partition) shard");
+        for report in &lane.reports {
             m.unit_ops += report.unit_ops() as u64;
             m.unit_subparts += report.unit.len() as u64;
             m.non_unit_ops += report.non_unit_ops() as u64;
@@ -268,6 +243,75 @@ pub fn analyze_ddg(
         vec_lengths,
     };
     (metrics, per_inst)
+}
+
+/// Runs the full per-instruction analysis over one DDG and aggregates the
+/// paper's table metrics.
+///
+/// Returns the aggregate row plus the per-instruction breakdown (sorted by
+/// instance count, descending).
+pub fn analyze_ddg(
+    module: &Module,
+    ddg: &Ddg,
+    options: &MetricOptions,
+) -> (LoopMetrics, Vec<InstMetrics>) {
+    let reductions = if options.break_reductions {
+        reduction_chains(module, ddg)
+    } else {
+        Vec::new()
+    };
+    let empty: HashSet<u32> = HashSet::new();
+
+    // One fused forward scan partitions every candidate at once (the old
+    // code re-ran the full Algorithm 1 scan per candidate instruction).
+    let insts = ddg.candidate_insts();
+    let chains: Vec<Option<&crate::reduction::ReductionChain>> = insts
+        .iter()
+        .map(|&inst| reductions.iter().find(|c| c.inst == inst))
+        .collect();
+    let ignores: Vec<&HashSet<u32>> = chains
+        .iter()
+        .map(|chain| chain.map(|c| &c.chain_nodes).unwrap_or(&empty))
+        .collect();
+    let all_parts = partition_all(ddg, &insts, &ignores);
+
+    // The stride stage is the hot path and embarrassingly parallel: each
+    // (candidate, partition) pair is an independent sort + waitlist scan.
+    // Fan the shards across the work pool; `par_map` hands results back in
+    // shard order, so the aggregation below is byte-identical to the
+    // sequential engine at every thread count.
+    let elems: Vec<u64> = insts.iter().map(|&inst| ddg.elem_size(inst)).collect();
+    let shards: Vec<(usize, usize)> = all_parts
+        .iter()
+        .enumerate()
+        .flat_map(|(c, parts)| (0..parts.groups.len()).map(move |g| (c, g)))
+        .collect();
+    let stride_reports: Vec<StrideReport> =
+        rayon_lite::par_map(options.threads, &shards, |_, &(c, g)| {
+            analyze_partition(ddg, &all_parts[c].groups[g], elems[c])
+        });
+    let mut stride_reports = stride_reports.into_iter();
+
+    let lanes: Vec<LaneOutcome> = all_parts
+        .iter()
+        .zip(chains)
+        .map(|(parts, chain)| LaneOutcome {
+            inst: parts.inst,
+            span: module.span_of(parts.inst),
+            instances: parts.num_instances() as u64,
+            partitions: parts.groups.len() as u64,
+            avg_partition_size: parts.average_size(),
+            reduction: chain.is_some(),
+            reports: (0..parts.groups.len())
+                .map(|_| {
+                    stride_reports
+                        .next()
+                        .expect("one stride report per (candidate, partition) shard")
+                })
+                .collect(),
+        })
+        .collect();
+    assemble(lanes)
 }
 
 #[cfg(test)]

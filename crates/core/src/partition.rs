@@ -228,6 +228,7 @@ mod tests {
         vm.set_capture(CaptureSpec::Program, "all");
         vm.run_main().unwrap();
         let trace = vm.take_trace().unwrap();
+        drop(vm); // the VM borrows `module`, which moves below
         let ddg = Ddg::build(&module, &trace);
         (module, ddg)
     }

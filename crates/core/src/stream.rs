@@ -1,0 +1,590 @@
+//! Streaming bounded-memory analysis engine.
+//!
+//! The batch pipeline materializes the full trace (`Vec<TraceEvent>`) and
+//! the full DDG (one node per dynamic instruction) before Algorithm 1 ever
+//! runs, so peak memory is O(trace length) — the scalability wall the paper
+//! itself acknowledges. But nothing downstream actually needs the graph:
+//!
+//! * **Algorithm 1 timestamps** are only ever read through *last-writer*
+//!   lookups. A node's per-candidate timestamp vector matters exactly as
+//!   long as the node is still the most recent writer of some register or
+//!   memory cell; once overwritten, no future node can reach it (flow
+//!   dependences only point at last writers), so its timestamps are dead.
+//!   Keeping the timestamp lanes *inside* the register/memory shadow tables
+//!   therefore preserves every reachable timestamp while bounding memory by
+//!   the number of **live** locations, not executed instructions.
+//! * **The §3.2/§3.3 stride scans** consume only each instance's operand
+//!   *address tuple* and its partition. Subpartition structure is a
+//!   function of the sorted tuple sequence alone: both engines sort with
+//!   unique, execution-ordered tie-breakers (batch: node ids; streaming:
+//!   within-partition indices), so a per-(candidate, timestamp) accumulator
+//!   of raw tuples reproduces the batch group sizes exactly — node ids
+//!   never leave the engine, so they are not needed.
+//!
+//! [`StreamingAnalyzer::consume`] is the push-style endpoint the VM's
+//! [`vectorscope_interp::Vm::add_sink`] API feeds one event at a time; it
+//! replays the DDG builder's dependence resolution (including the
+//! most-recent-*overlapping*-writer rule for mixed-size aliased stores —
+//! see `Builder::mem_writer_for` in `vectorscope-ddg`) against shadow
+//! tables that carry timestamp lanes instead of node ids.
+//! [`StreamingAnalyzer::finish`] then runs the shared stride core and the
+//! shared metrics assembler, producing reports **byte-identical** to
+//! [`crate::analyze_ddg`] over the batch DDG of the same event stream.
+//!
+//! Peak resident state is `O(live registers + live memory cells +
+//! candidate instances)` — on the bundled kernels 4–100× below the batch
+//! DDG footprint (see `BENCH_streaming.json`). [`StreamStats`] exposes the
+//! observability counters (`vscope stats`).
+//!
+//! One deliberate non-feature: the reduction-breaking extension needs
+//! whole-graph reduction chains *before* timestamping, which contradicts a
+//! one-pass engine; the driver falls back to the batch engine when
+//! `break_reductions` is requested.
+
+use crate::metrics::{assemble, InstMetrics, LaneOutcome, LoopMetrics, MetricOptions};
+use crate::stride::{analyze_sorted_tuples, StrideReport};
+use std::collections::HashMap;
+use vectorscope_ddg::{BuildError, CandidatePolicy};
+use vectorscope_ir::{InstId, InstKind, Module, TermKind, Value};
+use vectorscope_trace::{EventKind, TraceEvent};
+
+/// Observability counters of one streaming run.
+///
+/// The `peak_*` fields are the engine's memory story: the largest resident
+/// shadow-table and accumulator footprint observed at any point of the
+/// stream. They are reported through `vscope stats` and the `streaming`
+/// bench — never inside analysis reports, whose bytes must stay identical
+/// to the batch engine's.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Trace events consumed (plain + call + ret).
+    pub events: u64,
+    /// Dynamic instruction instances seen (batch-DDG node count).
+    pub nodes: u64,
+    /// Candidate (FP/int arithmetic) instances accumulated.
+    pub candidate_instances: u64,
+    /// Peak live register shadow entries.
+    pub peak_reg_shadow: usize,
+    /// Peak live memory shadow entries.
+    pub peak_mem_shadow: usize,
+    /// Peak resident shadow-table bytes (register + memory, keys, lane
+    /// payloads and per-entry headers).
+    pub peak_shadow_bytes: usize,
+    /// Peak resident stride-accumulator bytes (operand address tuples).
+    pub peak_accumulator_bytes: usize,
+    /// Partitions opened across all candidate lanes (each closes at
+    /// `finish`).
+    pub partitions: u64,
+}
+
+impl StreamStats {
+    /// Total peak resident analysis state: shadow tables + accumulators.
+    ///
+    /// This is the number the streaming engine bounds, and what the
+    /// `streaming` bench compares against the batch DDG footprint.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_shadow_bytes + self.peak_accumulator_bytes
+    }
+}
+
+/// The result of [`StreamingAnalyzer::finish`].
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Aggregated table metrics — byte-identical to the batch engine's.
+    pub metrics: LoopMetrics,
+    /// Per-instruction breakdown — byte-identical to the batch engine's.
+    pub per_inst: Vec<InstMetrics>,
+    /// Dynamic instruction instances (what `ddg_nodes` reports).
+    pub nodes: usize,
+    /// Observability counters.
+    pub stats: StreamStats,
+}
+
+/// Last writer of a virtual register, reduced to what downstream analyses
+/// can still ask of it: its timestamp lanes and, if it was a load, its
+/// address (for operand address tuples).
+struct RegShadow {
+    /// Algorithm 1 timestamp per candidate lane, with trailing zeros
+    /// trimmed; lanes past the stored length are implicitly 0 (a timestamp
+    /// is 0 until the lane's first candidate instance, so a writer that ran
+    /// before that instance has lane value 0 by construction — the same
+    /// argument that lets lanes be created lazily at all).
+    lanes: Box<[u32]>,
+    /// The writer's dynamic address if it was a load, else 0 — exactly the
+    /// contribution `Ddg::operand_addrs` derives from the writer node.
+    load_addr: u64,
+}
+
+/// Last write covering a memory base address. Packed deliberately: one of
+/// these exists per *live* memory cell, which is the engine's dominant
+/// state on large-array kernels.
+struct MemShadow {
+    /// The store's timestamp lanes (see [`RegShadow::lanes`]).
+    lanes: Box<[u32]>,
+    /// Global instance sequence number of the writing store — the recency
+    /// key of the most-recent-overlapping-writer rule (node ids increase in
+    /// execution order, so sequence order is id order). Fits `u32` because
+    /// instance ids are `u32`-checked (`BuildError::TraceTooLarge`).
+    seq: u32,
+    /// Write size in bytes (scalar stores only: at most 8).
+    size: u8,
+}
+
+fn reg_shadow_bytes(s: &RegShadow) -> usize {
+    // (activation, register) key + lane slice header + payload + addr.
+    8 + std::mem::size_of::<Box<[u32]>>() + 4 * s.lanes.len() + 8
+}
+
+fn mem_shadow_bytes(s: &MemShadow) -> usize {
+    // base key + packed entry + lane payload.
+    8 + std::mem::size_of::<MemShadow>() + 4 * s.lanes.len()
+}
+
+/// Element-wise `max` into `dst`, extending it with implicit zeros first.
+fn max_into(dst: &mut Vec<u32>, src: &[u32]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(s);
+    }
+}
+
+/// Freezes a working lane vector into its resident form, dropping trailing
+/// zeros (implicitly-zero lanes read back identically through `max_into`).
+fn trim(mut lanes: Vec<u32>) -> Box<[u32]> {
+    while lanes.last() == Some(&0) {
+        lanes.pop();
+    }
+    lanes.into_boxed_slice()
+}
+
+/// Online Algorithm 1 + stride analysis over a pushed event stream.
+///
+/// Create one per capture region, feed every [`TraceEvent`] to
+/// [`consume`](Self::consume) (typically through
+/// [`vectorscope_interp::Vm::add_sink`]), then call
+/// [`finish`](Self::finish) for the report. See the module docs for the
+/// equivalence argument; `tests/streaming.rs` holds the differential
+/// proof against the batch engine.
+pub struct StreamingAnalyzer<'m> {
+    module: &'m Module,
+    policy: CandidatePolicy,
+
+    // --- candidate lanes, created at first appearance (before a lane's
+    // first instance every timestamp of that lane is 0, so late creation
+    // loses nothing and reproduces `Ddg::candidate_insts` order).
+    lane_of: HashMap<InstId, usize>,
+    lane_insts: Vec<InstId>,
+    lane_elem: Vec<u64>,
+    /// Operand count of each lane's static instruction (fixed per lane —
+    /// candidates are binary arithmetic), making the accumulators flat.
+    lane_arity: Vec<usize>,
+    /// `accum[lane][timestamp - 1]` collects the operand address tuples of
+    /// that partition's instances, concatenated in execution order with
+    /// stride `lane_arity[lane]` — 8 bytes per operand, no per-instance
+    /// allocation or header.
+    accum: Vec<Vec<Vec<u64>>>,
+
+    // --- live dependence state (the whole memory story).
+    regs: HashMap<(u32, u32), RegShadow>,
+    mem: HashMap<u64, MemShadow>,
+    /// Open calls: (callee activation, caller activation, dst register).
+    call_stack: Vec<(u32, u32, Option<u32>)>,
+
+    /// Instances seen (= next batch node id).
+    node_seq: u64,
+    /// Operand-writer slots a batch CSR build would have pushed (the batch
+    /// engine bounds this by `u32` too).
+    op_count: u64,
+    /// Set when the stream exceeds what `u32` node ids can express.
+    overflow: Option<usize>,
+
+    stats: StreamStats,
+    shadow_bytes: usize,
+    accum_bytes: usize,
+}
+
+impl<'m> StreamingAnalyzer<'m> {
+    /// A fresh analyzer for one capture region of `module`.
+    pub fn new(module: &'m Module, policy: CandidatePolicy) -> Self {
+        StreamingAnalyzer {
+            module,
+            policy,
+            lane_of: HashMap::new(),
+            lane_insts: Vec::new(),
+            lane_elem: Vec::new(),
+            lane_arity: Vec::new(),
+            accum: Vec::new(),
+            regs: HashMap::new(),
+            mem: HashMap::new(),
+            call_stack: Vec::new(),
+            node_seq: 0,
+            op_count: 0,
+            overflow: None,
+            stats: StreamStats::default(),
+            shadow_bytes: 0,
+            accum_bytes: 0,
+        }
+    }
+
+    /// Events consumed so far (0 means the capture never fired — the
+    /// streaming equivalent of an empty trace).
+    pub fn events(&self) -> u64 {
+        self.stats.events
+    }
+
+    /// Consumes one trace event, updating live state online.
+    pub fn consume(&mut self, event: &TraceEvent) {
+        self.stats.events += 1;
+        if self.overflow.is_some() {
+            return;
+        }
+        match event.kind {
+            EventKind::Plain { addr } => self.plain(event.inst, event.activation, addr),
+            EventKind::Call { callee_activation } => {
+                self.call(event.inst, event.activation, callee_activation)
+            }
+            EventKind::Ret => self.ret(event.inst, event.activation),
+        }
+        self.stats.peak_reg_shadow = self.stats.peak_reg_shadow.max(self.regs.len());
+        self.stats.peak_mem_shadow = self.stats.peak_mem_shadow.max(self.mem.len());
+        self.stats.peak_shadow_bytes = self.stats.peak_shadow_bytes.max(self.shadow_bytes);
+        self.stats.peak_accumulator_bytes = self.stats.peak_accumulator_bytes.max(self.accum_bytes);
+    }
+
+    /// Closes the stream: runs the shared stride core over the accumulated
+    /// partitions and assembles the report.
+    ///
+    /// `options.threads` fans the per-(candidate, partition) stride shards
+    /// exactly like the batch engine; `options.break_reductions` is not
+    /// supported here (the driver falls back to batch) and is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::TraceTooLarge`] if the stream held more
+    /// instances than `u32` node ids can express — the same limit, surfaced
+    /// the same way, as the batch builder.
+    pub fn finish(self, options: &MetricOptions) -> Result<StreamOutcome, BuildError> {
+        if let Some(nodes) = self.overflow {
+            return Err(BuildError::TraceTooLarge { nodes });
+        }
+        let shards: Vec<(usize, usize)> = self
+            .accum
+            .iter()
+            .enumerate()
+            .flat_map(|(l, gs)| (0..gs.len()).map(move |g| (l, g)))
+            .collect();
+        let accum = &self.accum;
+        let elems = &self.lane_elem;
+        let arities = &self.lane_arity;
+        // Same fan-out discipline as `analyze_ddg`: results return in shard
+        // order, so aggregation is byte-identical at every thread count.
+        let reports: Vec<StrideReport> =
+            rayon_lite::par_map(options.threads, &shards, |_, &(l, g)| {
+                // Payload = within-partition index: unique and in execution
+                // order, so a plain sort is a stable sort by tuple — the
+                // same tuple sequence the batch engine's (tuple, node id)
+                // sort produces.
+                let mut tuples: Vec<(Vec<u64>, u32)> = accum[l][g]
+                    .chunks_exact(arities[l])
+                    .enumerate()
+                    .map(|(i, t)| (t.to_vec(), i as u32))
+                    .collect();
+                tuples.sort();
+                analyze_sorted_tuples(&tuples, elems[l])
+            });
+        let mut reports = reports.into_iter();
+        let lanes: Vec<LaneOutcome> = self
+            .lane_insts
+            .iter()
+            .zip(self.accum.iter().zip(&self.lane_arity))
+            .map(|(&inst, (groups, &arity))| {
+                let instances: usize = groups.iter().map(|g| g.len() / arity).sum();
+                LaneOutcome {
+                    inst,
+                    span: self.module.span_of(inst),
+                    instances: instances as u64,
+                    partitions: groups.len() as u64,
+                    avg_partition_size: if groups.is_empty() {
+                        0.0
+                    } else {
+                        instances as f64 / groups.len() as f64
+                    },
+                    reduction: false,
+                    reports: (0..groups.len())
+                        .map(|_| {
+                            reports
+                                .next()
+                                .expect("one stride report per (lane, partition) shard")
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let (metrics, per_inst) = assemble(lanes);
+        Ok(StreamOutcome {
+            metrics,
+            per_inst,
+            nodes: self.node_seq as usize,
+            stats: self.stats,
+        })
+    }
+
+    /// Allocates the next instance sequence number, mirroring the batch
+    /// builder's checked node-id conversion (id `u32::MAX` is the EXTERNAL
+    /// sentinel) and its CSR operand-array bound.
+    fn next_seq(&mut self, operands: u64) -> Option<u64> {
+        if self.node_seq >= u32::MAX as u64 {
+            self.overflow = Some(self.node_seq as usize);
+            return None;
+        }
+        let seq = self.node_seq;
+        self.node_seq += 1;
+        self.op_count += operands;
+        if self.op_count >= u32::MAX as u64 {
+            self.overflow = Some(self.node_seq as usize);
+            return None;
+        }
+        self.stats.nodes += 1;
+        Some(seq)
+    }
+
+    fn lanes_of_value(&self, act: u32, v: Value, into: &mut Vec<u32>) {
+        if let Value::Reg(r) = v {
+            if let Some(s) = self.regs.get(&(act, r.0)) {
+                max_into(into, &s.lanes);
+            }
+        }
+    }
+
+    /// The operand-address-tuple contribution of a value: the address of
+    /// the load that produced it, else 0 (immediates, externals, register
+    /// arithmetic).
+    fn addr_of_value(&self, act: u32, v: Value) -> u64 {
+        if let Value::Reg(r) = v {
+            if let Some(s) = self.regs.get(&(act, r.0)) {
+                return s.load_addr;
+            }
+        }
+        0
+    }
+
+    /// The most recent write overlapping the read `[addr, addr + size)` —
+    /// the streaming mirror of `Builder::mem_writer_for`, including the fix
+    /// for newer overlapping writes at a different base and the saturating
+    /// window near `u64::MAX`. Recency competes on sequence numbers, which
+    /// order exactly like batch node ids.
+    fn mem_shadow_for(&self, addr: u64, size: u64) -> Option<&MemShadow> {
+        if size == 0 {
+            return None;
+        }
+        let mut best: Option<&MemShadow> = None;
+        let lo = addr.saturating_sub(7);
+        let hi = addr.saturating_add(size - 1);
+        for base in lo..=hi {
+            if let Some(s) = self.mem.get(&base) {
+                let reaches = s.size > 0
+                    && base
+                        .checked_add(s.size as u64 - 1)
+                        .is_none_or(|end| end >= addr);
+                if reaches && best.map(|b| s.seq > b.seq).unwrap_or(true) {
+                    best = Some(s);
+                }
+            }
+        }
+        best
+    }
+
+    fn set_reg(&mut self, key: (u32, u32), shadow: RegShadow) {
+        self.shadow_bytes += reg_shadow_bytes(&shadow);
+        if let Some(old) = self.regs.insert(key, shadow) {
+            self.shadow_bytes -= reg_shadow_bytes(&old);
+        }
+    }
+
+    fn remove_reg(&mut self, key: (u32, u32)) {
+        if let Some(old) = self.regs.remove(&key) {
+            self.shadow_bytes -= reg_shadow_bytes(&old);
+        }
+    }
+
+    fn set_mem(&mut self, base: u64, shadow: MemShadow) {
+        self.shadow_bytes += mem_shadow_bytes(&shadow);
+        if let Some(old) = self.mem.insert(base, shadow) {
+            self.shadow_bytes -= mem_shadow_bytes(&old);
+        }
+    }
+
+    fn plain(&mut self, inst_id: InstId, act: u32, addr: Option<u64>) {
+        let Some(inst) = self.module.inst(inst_id) else {
+            return; // terminator or unknown: Ret handled separately
+        };
+        match &inst.kind {
+            InstKind::Load {
+                dst,
+                addr: addr_op,
+                ty,
+            } => {
+                let a = addr.expect("load event carries an address");
+                if self.next_seq(2).is_none() {
+                    return;
+                }
+                let mut lanes = Vec::new();
+                self.lanes_of_value(act, *addr_op, &mut lanes);
+                if let Some(s) = self.mem_shadow_for(a, ty.size()) {
+                    max_into(&mut lanes, &s.lanes);
+                }
+                self.set_reg(
+                    (act, dst.0),
+                    RegShadow {
+                        lanes: trim(lanes),
+                        load_addr: a,
+                    },
+                );
+            }
+            InstKind::Store {
+                addr: addr_op,
+                value,
+                ty,
+            } => {
+                let a = addr.expect("store event carries an address");
+                let Some(seq) = self.next_seq(2) else {
+                    return;
+                };
+                let mut lanes = Vec::new();
+                self.lanes_of_value(act, *addr_op, &mut lanes);
+                self.lanes_of_value(act, *value, &mut lanes);
+                self.set_mem(
+                    a,
+                    MemShadow {
+                        lanes: trim(lanes),
+                        seq: seq as u32,
+                        size: u8::try_from(ty.size()).expect("scalar store size fits u8"),
+                    },
+                );
+            }
+            other => {
+                let mut lanes = Vec::new();
+                let mut tuple = Vec::new();
+                let mut operands = 0u64;
+                inst.for_each_use(|v| {
+                    operands += 1;
+                    self.lanes_of_value(act, v, &mut lanes);
+                    tuple.push(self.addr_of_value(act, v));
+                });
+                if self.next_seq(operands).is_none() {
+                    return;
+                }
+                let int_candidate = self.policy == CandidatePolicy::IntAndFloatArith
+                    && matches!(
+                        &inst.kind,
+                        InstKind::Bin { ty, .. } if ty.is_int()
+                    );
+                if inst.is_fp_candidate() || int_candidate {
+                    let elem = match other {
+                        InstKind::Bin { ty, .. } => ty.size(),
+                        _ => 8,
+                    };
+                    let lane = match self.lane_of.get(&inst_id) {
+                        Some(&l) => l,
+                        None => {
+                            let l = self.lane_insts.len();
+                            self.lane_of.insert(inst_id, l);
+                            self.lane_insts.push(inst_id);
+                            self.lane_elem.push(elem);
+                            self.lane_arity.push(tuple.len());
+                            self.accum.push(Vec::new());
+                            l
+                        }
+                    };
+                    debug_assert_eq!(
+                        self.lane_arity[lane],
+                        tuple.len(),
+                        "a static instruction's operand count is fixed"
+                    );
+                    // Algorithm 1: this instance's timestamp is the max
+                    // predecessor timestamp plus one.
+                    let t = lanes.get(lane).copied().unwrap_or(0) as usize + 1;
+                    if lanes.len() <= lane {
+                        lanes.resize(lane + 1, 0);
+                    }
+                    lanes[lane] = t as u32;
+                    let groups = &mut self.accum[lane];
+                    if groups.len() < t {
+                        self.stats.partitions += (t - groups.len()) as u64;
+                        self.accum_bytes += (t - groups.len()) * std::mem::size_of::<Vec<u64>>();
+                        groups.resize_with(t, Vec::new);
+                    }
+                    self.accum_bytes += 8 * tuple.len();
+                    groups[t - 1].extend_from_slice(&tuple);
+                    self.stats.candidate_instances += 1;
+                }
+                if let Some(dst) = inst.dst() {
+                    self.set_reg(
+                        (act, dst.0),
+                        RegShadow {
+                            lanes: trim(lanes),
+                            load_addr: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn call(&mut self, inst_id: InstId, act: u32, callee_act: u32) {
+        let Some(inst) = self.module.inst(inst_id) else {
+            return;
+        };
+        let InstKind::Call { dst, callee, args } = &inst.kind else {
+            return;
+        };
+        // Dependences pass through calls: callee parameters inherit the
+        // caller-side producers of the arguments.
+        let callee_fn = self.module.function(*callee);
+        for (i, arg) in args.iter().enumerate() {
+            let Value::Reg(r) = arg else {
+                continue;
+            };
+            let copy = self.regs.get(&(act, r.0)).map(|s| RegShadow {
+                lanes: s.lanes.clone(),
+                load_addr: s.load_addr,
+            });
+            if let Some(copy) = copy {
+                let param = callee_fn.params()[i];
+                self.set_reg((callee_act, param.0), copy);
+            }
+        }
+        self.call_stack.push((callee_act, act, dst.map(|d| d.0)));
+    }
+
+    fn ret(&mut self, inst_id: InstId, act: u32) {
+        let Some((callee_act, caller_act, dst)) = self.call_stack.pop() else {
+            return; // capture started inside this activation; nothing to link
+        };
+        if callee_act != act {
+            // Mismatched linkage (capture started mid-call): restore and
+            // bail out conservatively.
+            self.call_stack.push((callee_act, caller_act, dst));
+            return;
+        }
+        let ret_shadow = self
+            .module
+            .terminator(inst_id)
+            .and_then(|t| match t.kind {
+                TermKind::Ret(Some(Value::Reg(r))) => self.regs.get(&(act, r.0)),
+                _ => None,
+            })
+            .map(|s| RegShadow {
+                lanes: s.lanes.clone(),
+                load_addr: s.load_addr,
+            });
+        if let Some(d) = dst {
+            match ret_shadow {
+                Some(s) => self.set_reg((caller_act, d), s),
+                None => self.remove_reg((caller_act, d)),
+            }
+        }
+    }
+}

@@ -74,24 +74,7 @@ impl StrideReport {
 /// `elem_size` is the byte size of the instruction's operand element type
 /// (see [`Ddg::elem_size`]).
 pub fn analyze_partition(ddg: &Ddg, partition: &[u32], elem_size: u64) -> StrideReport {
-    let subparts = unit_stride(ddg, partition, elem_size);
-    let mut report = StrideReport::default();
-    let mut leftovers = Vec::new();
-    for sp in subparts {
-        if sp.len() >= 2 {
-            report.unit.push(sp);
-        } else {
-            leftovers.extend(sp);
-        }
-    }
-    for sp in non_unit_stride(ddg, &leftovers) {
-        if sp.len() >= 2 {
-            report.non_unit.push(sp);
-        } else {
-            report.singletons.extend(sp);
-        }
-    }
-    report
+    analyze_sorted_tuples(&sorted_tuples(ddg, partition), elem_size)
 }
 
 /// Sorted address tuples for the instances, with original node ids.
@@ -102,21 +85,49 @@ fn sorted_tuples(ddg: &Ddg, nodes: &[u32]) -> Vec<(Vec<u64>, u32)> {
     tuples
 }
 
-/// Splits one parallel partition into unit/zero-stride subpartitions
-/// (paper §3.2), singletons included.
+/// Runs both stride stages directly over pre-sorted `(address tuple,
+/// payload)` pairs — the payload-generic core shared by the batch engine
+/// (payload = DDG node id) and the streaming engine (payload =
+/// within-partition instance index).
 ///
-/// Instances are sorted by operand address tuple and scanned; the current
-/// subpartition ends when a per-operand delta is neither 0 nor
-/// `elem_size`, or differs from the stride pattern already observed in the
-/// subpartition.
-pub fn unit_stride(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Vec<Vec<u32>> {
-    let tuples = sorted_tuples(ddg, partition);
-    let mut out: Vec<Vec<u32>> = Vec::new();
-    let mut current: Vec<u32> = Vec::new();
+/// Both engines sort pairs whose payloads are unique and increase in
+/// execution order, so a plain `sort()` is a stable sort by tuple and the
+/// resulting subpartition *structure* (membership pattern and sizes)
+/// depends only on the tuple multiset. That is the equivalence the
+/// streaming engine's byte-identity contract rests on: it never needs node
+/// ids, only the same group sizes.
+pub(crate) fn analyze_sorted_tuples(tuples: &[(Vec<u64>, u32)], elem_size: u64) -> StrideReport {
+    let runs = unit_runs(tuples, elem_size);
+    let mut report = StrideReport::default();
+    let mut leftovers: Vec<(Vec<u64>, u32)> = Vec::new();
+    for run in runs {
+        if run.len() >= 2 {
+            report.unit.push(run.iter().map(|&i| tuples[i].1).collect());
+        } else {
+            // Singleton runs fall out in scan order, which is the sorted
+            // order the wait-list stage expects.
+            leftovers.extend(run.into_iter().map(|i| tuples[i].clone()));
+        }
+    }
+    for sp in non_unit_scan(leftovers) {
+        if sp.len() >= 2 {
+            report.non_unit.push(sp);
+        } else {
+            report.singletons.extend(sp);
+        }
+    }
+    report
+}
+
+/// The §3.2 scan over pre-sorted tuples, returning maximal unit/zero-stride
+/// runs as indices into `tuples`.
+fn unit_runs(tuples: &[(Vec<u64>, u32)], elem_size: u64) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
     let mut current_tuple: Option<&Vec<u64>> = None;
     let mut established: Option<Vec<u64>> = None;
 
-    for (tuple, node) in &tuples {
+    for (i, (tuple, _)) in tuples.iter().enumerate() {
         if let Some(prev) = current_tuple {
             let delta: Option<Vec<u64>> = prev
                 .iter()
@@ -134,14 +145,14 @@ pub fn unit_stride(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Vec<Vec<u32>
                 _ => false,
             };
             if ok {
-                current.push(*node);
+                current.push(i);
                 current_tuple = Some(tuple);
                 continue;
             }
             out.push(std::mem::take(&mut current));
             established = None;
         }
-        current.push(*node);
+        current.push(i);
         current_tuple = Some(tuple);
     }
     if !current.is_empty() {
@@ -150,15 +161,9 @@ pub fn unit_stride(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Vec<Vec<u32>
     out
 }
 
-/// Groups singleton instances at any fixed non-unit stride using the
-/// paper's wait-list scan (§3.3).
-///
-/// The instances (all of one static instruction and one timestamp) are
-/// sorted; a scan grows a subpartition with a constant per-operand stride,
-/// deferring mismatching instances to a wait list; the wait list is then
-/// re-scanned for the next subpartition until no instances remain.
-pub fn non_unit_stride(ddg: &Ddg, singletons: &[u32]) -> Vec<Vec<u32>> {
-    let mut pending = sorted_tuples(ddg, singletons);
+/// The §3.3 wait-list scan over pre-sorted tuples, returning payload
+/// groups.
+fn non_unit_scan(mut pending: Vec<(Vec<u64>, u32)>) -> Vec<Vec<u32>> {
     let mut out = Vec::new();
     while !pending.is_empty() {
         let mut waitlist: Vec<(Vec<u64>, u32)> = Vec::new();
@@ -201,6 +206,32 @@ pub fn non_unit_stride(ddg: &Ddg, singletons: &[u32]) -> Vec<Vec<u32>> {
         pending = waitlist;
     }
     out
+}
+
+/// Splits one parallel partition into unit/zero-stride subpartitions
+/// (paper §3.2), singletons included.
+///
+/// Instances are sorted by operand address tuple and scanned; the current
+/// subpartition ends when a per-operand delta is neither 0 nor
+/// `elem_size`, or differs from the stride pattern already observed in the
+/// subpartition.
+pub fn unit_stride(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Vec<Vec<u32>> {
+    let tuples = sorted_tuples(ddg, partition);
+    unit_runs(&tuples, elem_size)
+        .into_iter()
+        .map(|run| run.into_iter().map(|i| tuples[i].1).collect())
+        .collect()
+}
+
+/// Groups singleton instances at any fixed non-unit stride using the
+/// paper's wait-list scan (§3.3).
+///
+/// The instances (all of one static instruction and one timestamp) are
+/// sorted; a scan grows a subpartition with a constant per-operand stride,
+/// deferring mismatching instances to a wait list; the wait list is then
+/// re-scanned for the next subpartition until no instances remain.
+pub fn non_unit_stride(ddg: &Ddg, singletons: &[u32]) -> Vec<Vec<u32>> {
+    non_unit_scan(sorted_tuples(ddg, singletons))
 }
 
 #[cfg(test)]

@@ -147,6 +147,7 @@ mod tests {
         vm.set_capture(CaptureSpec::Program, "dot");
         vm.run_main().unwrap();
         let trace = vm.take_trace().unwrap();
+        drop(vm); // the VM borrows `module`, which moves below
         let ddg = Ddg::build(&module, &trace);
         (module, ddg)
     }

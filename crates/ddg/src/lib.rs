@@ -44,6 +44,45 @@ use vectorscope_trace::{EventKind, Trace};
 /// trace (immediate, or value produced before capture started).
 pub const EXTERNAL: u32 = u32::MAX;
 
+/// Error raised while building a DDG from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The trace has too many node-producing events for `u32` node ids:
+    /// node id `u32::MAX` would collide with the [`EXTERNAL`] sentinel,
+    /// and anything past it would silently truncate and corrupt every
+    /// dependence edge. (The CSR operand array is bounded the same way.)
+    TraceTooLarge {
+        /// How many nodes the trace tried to create (saturated count).
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::TraceTooLarge { nodes } => write!(
+                f,
+                "trace produces {nodes}+ DDG nodes; u32 node ids support at most {}",
+                u32::MAX - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Checked conversion of a prospective node id (or CSR offset) to `u32`.
+///
+/// `u32::MAX` itself is rejected: it is the [`EXTERNAL`] sentinel, so a
+/// graph may hold at most `u32::MAX` nodes (ids `0..u32::MAX`).
+pub fn checked_node_id(len: usize) -> Result<u32, BuildError> {
+    if len >= u32::MAX as usize {
+        Err(BuildError::TraceTooLarge { nodes: len })
+    } else {
+        Ok(len as u32)
+    }
+}
+
 /// Which instructions count as *candidates* whose SIMD potential is
 /// characterized.
 ///
@@ -124,12 +163,46 @@ impl Ddg {
     ///
     /// Events whose instruction ids are unknown to the module are ignored
     /// (they cannot arise from the in-repo pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace overflows `u32` node ids (≥ 2^32 − 1 nodes); use
+    /// [`Ddg::try_build`] to handle that case as an error.
     pub fn build(module: &Module, trace: &Trace) -> Ddg {
-        Ddg::build_with_policy(module, trace, CandidatePolicy::FloatArith)
+        Ddg::try_build(module, trace).expect("DDG node ids overflowed u32")
     }
 
     /// Like [`Ddg::build`], but with an explicit [`CandidatePolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace overflows `u32` node ids (≥ 2^32 − 1 nodes); use
+    /// [`Ddg::try_build_with_policy`] to handle that case as an error.
     pub fn build_with_policy(module: &Module, trace: &Trace, policy: CandidatePolicy) -> Ddg {
+        Ddg::try_build_with_policy(module, trace, policy).expect("DDG node ids overflowed u32")
+    }
+
+    /// Fallible variant of [`Ddg::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::TraceTooLarge`] if the trace would create
+    /// ≥ 2^32 − 1 nodes (the last id collides with [`EXTERNAL`]).
+    pub fn try_build(module: &Module, trace: &Trace) -> Result<Ddg, BuildError> {
+        Ddg::try_build_with_policy(module, trace, CandidatePolicy::FloatArith)
+    }
+
+    /// Fallible variant of [`Ddg::build_with_policy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::TraceTooLarge`] if the trace would create
+    /// ≥ 2^32 − 1 nodes (the last id collides with [`EXTERNAL`]).
+    pub fn try_build_with_policy(
+        module: &Module,
+        trace: &Trace,
+        policy: CandidatePolicy,
+    ) -> Result<Ddg, BuildError> {
         let mut b = Builder::new(module);
         b.policy = policy;
         b.run(trace)
@@ -143,6 +216,18 @@ impl Ddg {
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Resident bytes of the graph's analysis state: the node table plus
+    /// the CSR operand arrays (the per-candidate element-size map is a
+    /// handful of entries and counted at `HashMap` entry granularity).
+    /// This is the batch engine's peak-memory denominator in the
+    /// streaming-vs-batch comparison (`vscope stats`, `BENCH_streaming`).
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.op_offsets.len() * std::mem::size_of::<u32>()
+            + self.op_writers.len() * std::mem::size_of::<u32>()
+            + self.elem_size.len() * std::mem::size_of::<(InstId, u64)>()
     }
 
     /// The static instruction of node `n`.
@@ -297,7 +382,8 @@ impl Ddg {
                 SyntheticClass::Candidate => NodeClass::Candidate,
                 SyntheticClass::Other => NodeClass::Other,
             };
-            out.push_node(n.inst, n.addr, class, &n.writers);
+            out.push_node(n.inst, n.addr, class, &n.writers)
+                .expect("synthetic graph overflowed u32 node ids");
         }
         Ddg {
             nodes: out.nodes,
@@ -382,22 +468,31 @@ impl<'m> Builder<'m> {
 
     /// The most recent write overlapping the read `[addr, addr + size)`.
     ///
-    /// Fast path: an exact-base hit (type-consistent code always takes it).
-    /// Otherwise scan the 7 possible overlapping base addresses below
-    /// `addr` plus bases inside the read — accesses are at most 8 bytes, so
-    /// the probe window is constant.
+    /// Scans every base address that an overlapping write could have been
+    /// recorded under: the 7 bytes below `addr` (accesses are at most
+    /// 8 bytes) plus every byte inside the read. All hits compete on
+    /// recency — node ids increase in execution order, so the youngest
+    /// overlapping writer is simply the largest id. An exact-base hit gets
+    /// no shortcut: a newer write at a *different* base can overlap the
+    /// read and must win (mixed-size aliased stores, see `overlap_tests`).
+    ///
+    /// The window arithmetic saturates so addresses at the very top of the
+    /// `u64` space cannot overflow; a write whose extent wraps past
+    /// `u64::MAX` is treated as overlapping (conservative, unreachable
+    /// through the in-repo memory model).
     fn mem_writer_for(&self, addr: u64, size: u64) -> u32 {
-        if let Some(&(n, _)) = self.mem_writers.get(&addr) {
-            return n;
+        if size == 0 {
+            return EXTERNAL;
         }
         let mut best = EXTERNAL;
         let lo = addr.saturating_sub(7);
-        for base in lo..addr + size {
-            if base == addr {
-                continue;
-            }
+        let hi = addr.saturating_add(size - 1); // last byte of the read
+        for base in lo..=hi {
             if let Some(&(n, ws)) = self.mem_writers.get(&base) {
-                if base + ws > addr && base < addr + size && (best == EXTERNAL || n > best) {
+                // `base <= hi` already holds; overlap needs the write to
+                // reach back to `addr` (always true for bases >= addr).
+                let reaches = ws > 0 && base.checked_add(ws - 1).is_none_or(|end| end >= addr);
+                if reaches && (best == EXTERNAL || n > best) {
                     best = n;
                 }
             }
@@ -416,39 +511,46 @@ impl<'m> Builder<'m> {
         }
     }
 
-    fn run(mut self, trace: &Trace) -> Ddg {
+    fn run(mut self, trace: &Trace) -> Result<Ddg, BuildError> {
         for event in trace {
             match event.kind {
-                EventKind::Plain { addr } => self.plain(event.inst, event.activation, addr),
+                EventKind::Plain { addr } => self.plain(event.inst, event.activation, addr)?,
                 EventKind::Call { callee_activation } => {
                     self.call(event.inst, event.activation, callee_activation)
                 }
                 EventKind::Ret => self.ret(event.inst, event.activation),
             }
         }
-        Ddg {
+        Ok(Ddg {
             nodes: self.nodes,
             op_offsets: self.op_offsets,
             op_writers: self.op_writers,
             elem_size: self.elem_size,
-        }
+        })
     }
 
-    fn push_node(&mut self, inst: InstId, addr: u64, class: NodeClass, writers: &[u32]) -> u32 {
-        let id = self.nodes.len() as u32;
+    fn push_node(
+        &mut self,
+        inst: InstId,
+        addr: u64,
+        class: NodeClass,
+        writers: &[u32],
+    ) -> Result<u32, BuildError> {
+        let id = checked_node_id(self.nodes.len())?;
         self.nodes.push(Node { inst, addr, class });
         self.op_writers.extend_from_slice(writers);
-        self.op_offsets.push(self.op_writers.len() as u32);
-        id
+        self.op_offsets
+            .push(checked_node_id(self.op_writers.len())?);
+        Ok(id)
     }
 
-    fn plain(&mut self, inst_id: InstId, act: u32, addr: Option<u64>) {
+    fn plain(&mut self, inst_id: InstId, act: u32, addr: Option<u64>) -> Result<(), BuildError> {
         let Some(inst) = self
             .module
             .expect("trace builder has a module")
             .inst(inst_id)
         else {
-            return; // terminator or unknown: Ret handled separately
+            return Ok(()); // terminator or unknown: Ret handled separately
         };
         match &inst.kind {
             InstKind::Load {
@@ -461,7 +563,7 @@ impl<'m> Builder<'m> {
                     self.writer_of(act, *addr_op),
                     self.mem_writer_for(a, ty.size()),
                 ];
-                let n = self.push_node(inst_id, a, NodeClass::Load, &writers);
+                let n = self.push_node(inst_id, a, NodeClass::Load, &writers)?;
                 self.reg_writers.insert((act, dst.0), n);
                 let _ = ty;
             }
@@ -472,7 +574,7 @@ impl<'m> Builder<'m> {
             } => {
                 let a = addr.expect("store event carries an address");
                 let writers = [self.writer_of(act, *addr_op), self.writer_of(act, *value)];
-                let n = self.push_node(inst_id, a, NodeClass::Store, &writers);
+                let n = self.push_node(inst_id, a, NodeClass::Store, &writers)?;
                 self.mem_writers.insert(a, (n, ty.size()));
             }
             other => {
@@ -502,12 +604,13 @@ impl<'m> Builder<'m> {
                         NodeClass::Other
                     }
                 };
-                let n = self.push_node(inst_id, 0, class, &writers);
+                let n = self.push_node(inst_id, 0, class, &writers)?;
                 if let Some(dst) = inst.dst() {
                     self.reg_writers.insert((act, dst.0), n);
                 }
             }
         }
+        Ok(())
     }
 
     fn call(&mut self, inst_id: InstId, act: u32, callee_act: u32) {
@@ -580,6 +683,7 @@ mod tests {
         vm.set_capture(CaptureSpec::Program, "all");
         vm.run_main().unwrap();
         let trace = vm.take_trace().unwrap();
+        drop(vm); // the VM borrows `module`, which moves below
         let ddg = Ddg::build(&module, &trace);
         (module, ddg)
     }
@@ -871,6 +975,7 @@ mod overlap_tests {
         vm.set_capture(CaptureSpec::Program, "all");
         vm.run_main().unwrap();
         let trace = vm.take_trace().unwrap();
+        drop(vm); // the VM borrows `module`, which moves below
         let ddg = Ddg::build(&module, &trace);
         (module, ddg)
     }
@@ -907,5 +1012,132 @@ mod overlap_tests {
                 "float load must see the overlapping double store"
             );
         }
+    }
+
+    /// Resolves the single candidate's loaded operand to its memory writer,
+    /// returning `(load address, writer node)`.
+    fn single_load_mem_writer(ddg: &Ddg) -> (u64, u32) {
+        let cands: Vec<u32> = ddg.candidate_nodes().collect();
+        assert_eq!(cands.len(), 1);
+        let load = ddg
+            .preds(cands[0])
+            .find(|&p| ddg.is_load(p))
+            .expect("candidate reads a load");
+        let w = ddg.operand_writers(load)[1];
+        (ddg.addr(load).unwrap(), w)
+    }
+
+    #[test]
+    fn newer_overlapping_store_at_different_base_shadows_exact_hit() {
+        // Regression: the old exact-base fast path returned the stale
+        // 8-byte store at `a` even though a *newer* 4-byte store at `a+4`
+        // overlaps the read. The load must depend on the newest
+        // overlapping writer, not the newest same-base writer.
+        let src = r#"
+            double a[2];
+            double out = 0.0;
+            void main() {
+                a[0] = 1.0;             // 8-byte store at base X (older)
+                double* p = a;
+                float* f = (float*)(int)p;
+                f[1] = 2.0;             // 4-byte store at X+4 (newer)
+                out = a[0] + 0.0;       // read of [X, X+8) overlaps both
+            }
+        "#;
+        let (_module, ddg) = program_ddg(src);
+        let (load_addr, w) = single_load_mem_writer(&ddg);
+        assert_ne!(w, EXTERNAL);
+        assert_eq!(
+            ddg.addr(w),
+            Some(load_addr + 4),
+            "load must depend on the newer overlapping f[1] store, \
+             not the older exact-base a[0] store"
+        );
+    }
+
+    #[test]
+    fn newer_overlapping_store_below_read_base_shadows_exact_hit() {
+        // Same bug, other direction: the newest overlapping write sits
+        // *below* the read base (an unaligned 8-byte store at X+4
+        // overlapping the read of a[1] at X+8).
+        let src = r#"
+            double a[2];
+            double out = 0.0;
+            void main() {
+                a[1] = 1.0;             // 8-byte store at X+8 (older)
+                double* p = a;
+                int q = (int)p + 4;
+                double* d = (double*)q;
+                *d = 2.0;               // 8-byte store at X+4 (newer)
+                out = a[1] + 0.0;       // read of [X+8, X+16) overlaps both
+            }
+        "#;
+        let (_module, ddg) = program_ddg(src);
+        let (load_addr, w) = single_load_mem_writer(&ddg);
+        assert_ne!(w, EXTERNAL);
+        assert_eq!(
+            ddg.addr(w),
+            Some(load_addr - 4),
+            "load must depend on the newer unaligned store below its base"
+        );
+    }
+
+    #[test]
+    fn boundary_addresses_near_u64_max_do_not_overflow() {
+        // `Ddg::build` consumes event addresses as-is, so hand-craft a
+        // trace whose accesses sit at the very top of the address space:
+        // the old probe window `lo..addr + size` overflowed there.
+        use vectorscope_trace::TraceEvent;
+        let src = r#"
+            double x = 1.0;
+            double y = 0.0;
+            void main() { y = x; }
+        "#;
+        let module = vectorscope_frontend::compile("bd.kern", src).unwrap();
+        let mut vm = Vm::new(&module);
+        vm.set_capture(CaptureSpec::Program, "all");
+        vm.run_main().unwrap();
+        let real = vm.take_trace().unwrap();
+        let mut load_id = None;
+        let mut store_id = None;
+        for e in &real {
+            if let Some(inst) = module.inst(e.inst) {
+                match inst.kind {
+                    InstKind::Load { .. } => load_id = load_id.or(Some(e.inst)),
+                    InstKind::Store { .. } => store_id = store_id.or(Some(e.inst)),
+                    _ => {}
+                }
+            }
+        }
+        let (load_id, store_id) = (load_id.unwrap(), store_id.unwrap());
+        let base = u64::MAX - 3; // 8-byte access extends past u64::MAX
+        let mut t = Trace::new("boundary");
+        t.push(TraceEvent::plain(store_id, 0, Some(base)));
+        t.push(TraceEvent::plain(load_id, 0, Some(base)));
+        t.push(TraceEvent::plain(load_id, 0, Some(u64::MAX)));
+        let ddg = Ddg::build(&module, &t);
+        assert_eq!(ddg.len(), 3);
+        // The same-base load resolves to the store even at the boundary.
+        assert_eq!(ddg.operand_writers(1)[1], 0);
+        // The load at u64::MAX overlaps the store's (wrapping) extent.
+        assert_eq!(ddg.operand_writers(2)[1], 0);
+    }
+
+    #[test]
+    fn checked_node_id_boundary() {
+        assert_eq!(checked_node_id(0), Ok(0));
+        assert_eq!(
+            checked_node_id(u32::MAX as usize - 1),
+            Ok(u32::MAX - 1),
+            "the largest non-sentinel id is still valid"
+        );
+        assert!(
+            matches!(
+                checked_node_id(u32::MAX as usize),
+                Err(BuildError::TraceTooLarge { .. })
+            ),
+            "id u32::MAX would collide with the EXTERNAL sentinel"
+        );
+        assert!(checked_node_id(u32::MAX as usize + 1).is_err());
     }
 }

@@ -43,4 +43,4 @@ mod vm;
 pub use cost::CostModel;
 pub use memory::Memory;
 pub use profiler::{HotLoop, LoopKey, LoopProfile, Profiler};
-pub use vm::{CaptureSpec, RtVal, Vm, VmError, VmOptions};
+pub use vm::{CaptureSpec, EventSink, RtVal, Vm, VmError, VmOptions};

@@ -137,10 +137,34 @@ pub enum CaptureSpec {
     Program,
 }
 
+/// A consumer of trace events pushed by the VM as they happen.
+///
+/// Unlike a buffered [`Trace`] capture, a sink never materializes the event
+/// stream: the streaming analysis engine rides on this to keep peak memory
+/// proportional to *live* analysis state instead of trace length.
+pub type EventSink<'m> = Box<dyn FnMut(&TraceEvent) + 'm>;
+
+/// Where an armed capture delivers its events: into a buffered [`Trace`]
+/// (the batch pipeline) or into a push-style [`EventSink`] (the streaming
+/// pipeline). Both share the same activation gating.
+enum CaptureBody<'m> {
+    Trace(Trace),
+    Sink(EventSink<'m>),
+}
+
+impl fmt::Debug for CaptureBody<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureBody::Trace(t) => f.debug_tuple("Trace").field(t).finish(),
+            CaptureBody::Sink(_) => f.write_str("Sink(..)"),
+        }
+    }
+}
+
 #[derive(Debug)]
-struct Capture {
+struct Capture<'m> {
     spec: CaptureSpec,
-    trace: Trace,
+    body: CaptureBody<'m>,
     active: bool,
     done: bool,
     seen: u64,
@@ -148,11 +172,19 @@ struct Capture {
     start_depth: usize,
 }
 
-impl Capture {
+impl<'m> Capture<'m> {
     fn new(spec: CaptureSpec, label: &str) -> Self {
+        Capture::with_body(spec, CaptureBody::Trace(Trace::new(label)))
+    }
+
+    fn new_sink(spec: CaptureSpec, sink: EventSink<'m>) -> Self {
+        Capture::with_body(spec, CaptureBody::Sink(sink))
+    }
+
+    fn with_body(spec: CaptureSpec, body: CaptureBody<'m>) -> Self {
         Capture {
             spec,
-            trace: Trace::new(label),
+            body,
             active: matches!(spec, CaptureSpec::Program),
             done: false,
             seen: 0,
@@ -183,7 +215,7 @@ pub struct Vm<'m> {
     profiler: Profiler,
     options: VmOptions,
     fuel_used: u64,
-    captures: Vec<Capture>,
+    captures: Vec<Capture<'m>>,
     next_activation: u32,
     inst_counts: Vec<u64>,
     branch_taken: Vec<u64>,
@@ -273,6 +305,21 @@ impl<'m> Vm<'m> {
         self.captures.push(Capture::new(spec, label));
     }
 
+    /// Arms a push-style event sink alongside any captures already armed.
+    ///
+    /// The sink receives every [`TraceEvent`] the capture would have
+    /// buffered, *as it happens*, under exactly the same activation gating
+    /// as [`Vm::add_capture`] (same spec semantics, same instance
+    /// selection, same start/stop boundaries) — but nothing is retained by
+    /// the VM, so memory stays flat no matter how long the region runs.
+    /// The streaming analysis engine is built on this hook.
+    ///
+    /// Sinks and buffered captures can be armed together; sinks simply
+    /// yield an empty trace slot in [`Vm::take_traces`].
+    pub fn add_sink(&mut self, spec: CaptureSpec, sink: EventSink<'m>) {
+        self.captures.push(Capture::new_sink(spec, sink));
+    }
+
     /// Takes the captured trace, if capture was armed and fired.
     ///
     /// With several armed captures this returns the first; use
@@ -281,18 +328,25 @@ impl<'m> Vm<'m> {
         if self.captures.is_empty() {
             None
         } else {
-            Some(self.captures.remove(0).trace)
+            match self.captures.remove(0).body {
+                CaptureBody::Trace(t) => Some(t),
+                CaptureBody::Sink(_) => None,
+            }
         }
     }
 
     /// Takes every captured trace, in the order the captures were armed.
     ///
     /// Captures that never fired yield their (empty) traces too, so the
-    /// result lines up index-for-index with the arming calls.
+    /// result lines up index-for-index with the arming calls; sink
+    /// captures contribute an empty placeholder trace.
     pub fn take_traces(&mut self) -> Vec<Trace> {
         std::mem::take(&mut self.captures)
             .into_iter()
-            .map(|c| c.trace)
+            .map(|c| match c.body {
+                CaptureBody::Trace(t) => t,
+                CaptureBody::Sink(_) => Trace::new("sink"),
+            })
             .collect()
     }
 
@@ -692,7 +746,10 @@ impl<'m> Vm<'m> {
     fn emit(&mut self, event: TraceEvent) {
         for c in &mut self.captures {
             if c.active {
-                c.trace.push(event);
+                match &mut c.body {
+                    CaptureBody::Trace(t) => t.push(event),
+                    CaptureBody::Sink(sink) => sink(&event),
+                }
             }
         }
     }

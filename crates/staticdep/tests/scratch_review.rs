@@ -13,7 +13,10 @@ fn dim_split_soundness_probe() {
            for (int i = 0; i < N; i++) { a[j*N+i] = a[j*N+i+4] * 0.5; } } }",
     )
     .expect("compiles");
-    let deps: Vec<LoopDep> = analyze_module(&m).into_iter().filter(|d| d.innermost).collect();
+    let deps: Vec<LoopDep> = analyze_module(&m)
+        .into_iter()
+        .filter(|d| d.innermost)
+        .collect();
     let d = &deps[0];
     for p in &d.pairs {
         println!("pair test={:?} verdict={:?}", p.test, p.verdict);

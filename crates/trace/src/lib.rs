@@ -213,6 +213,13 @@ impl Trace {
         self.events.iter()
     }
 
+    /// Approximate resident bytes of the in-memory trace (the event buffer
+    /// plus the name); used when comparing the batch pipeline's footprint
+    /// against the streaming engine, which never materializes this buffer.
+    pub fn approx_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<TraceEvent>() + self.name.len()
+    }
+
     /// Serializes to the compact vectorscope binary trace format.
     ///
     /// Layout: magic `VSTR`, version byte, name (u32 length + UTF-8),

@@ -13,6 +13,7 @@ fn program_ddg(src: &str) -> (vectorscope_ir::Module, Ddg) {
     vm.set_capture(CaptureSpec::Program, "all");
     vm.run_main().unwrap();
     let trace = vm.take_trace().unwrap();
+    drop(vm); // the VM's capture state borrows `module`, which moves below
     let ddg = Ddg::build(&module, &trace);
     (module, ddg)
 }
