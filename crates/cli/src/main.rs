@@ -19,9 +19,9 @@
 
 use std::process::ExitCode;
 use vectorscope::report::{render_inst_breakdown, render_table};
-use vectorscope::{analyze_source, AnalysisOptions};
+use vectorscope::{analyze_source, AnalysisOptions, Engine};
 use vectorscope_autovec::{analyze_module, percent_packed};
-use vectorscope_interp::{CaptureSpec, Vm};
+use vectorscope_interp::{CaptureSpec, Vm, VmOptions};
 use vectorscope_kernels::Variant;
 
 fn usage() -> ExitCode {
@@ -37,10 +37,17 @@ fn usage() -> ExitCode {
                                               events as they are emitted (reports\n\
                                               are byte-identical to the default\n\
                                               batch engine)\n\
+                          [--engine E]        VM execution engine: `decoded` (the\n\
+                                              default pre-decoded bytecode engine)\n\
+                                              or `tree` (the tree-walking escape\n\
+                                              hatch); outputs are byte-identical\n\
            vscope stats <file.kern> [--json]    stream a whole run and report the\n\
                                                 engine's observability counters and\n\
                                                 peak memory vs. the batch pipeline\n\
-           vscope profile <file.kern>           show per-loop cycle profile\n\
+           vscope profile <file.kern> [--phases] show per-loop cycle profile; with\n\
+                                                --phases also wall-clock time per\n\
+                                                pipeline phase (decode/execute/\n\
+                                                trace/ddg/analysis)\n\
            vscope vectorize <file.kern>         show model auto-vectorizer decisions\n\
            vscope trace <file.kern> [--out F]   capture a whole-program trace\n\
            vscope ir <file.kern> [--no-verify]  verify and dump the compiled IR\n\
@@ -117,7 +124,7 @@ fn positional(rest: &[String], idx: usize) -> Option<&str> {
             skip_next = false;
             continue;
         }
-        if a == "--threshold" || a == "--out" || a == "--threads" {
+        if a == "--threshold" || a == "--out" || a == "--threads" || a == "--engine" {
             skip_next = true;
             continue;
         }
@@ -145,7 +152,34 @@ fn analysis_options(rest: &[String]) -> Result<AnalysisOptions, Box<dyn std::err
     if let Some(t) = opt_value(rest, "--threads") {
         options.threads = t.parse::<usize>()?;
     }
+    options.engine = engine_opt(rest)?;
     Ok(options)
+}
+
+/// Parses `--engine decoded|tree` (default: the pre-decoded engine).
+fn engine_opt(rest: &[String]) -> Result<Engine, Box<dyn std::error::Error>> {
+    match opt_value(rest, "--engine") {
+        None => Ok(Engine::default()),
+        Some("decoded") => Ok(Engine::Decoded),
+        Some("tree") => Ok(Engine::Tree),
+        Some(other) => {
+            Err(format!("unknown engine `{other}` (expected `decoded` or `tree`)").into())
+        }
+    }
+}
+
+/// Builds a VM honoring `--engine` for the direct-VM subcommands.
+fn vm_for<'m>(
+    module: &'m vectorscope_ir::Module,
+    rest: &[String],
+) -> Result<Vm<'m>, Box<dyn std::error::Error>> {
+    Ok(Vm::with_options(
+        module,
+        VmOptions {
+            engine: engine_opt(rest)?,
+            ..VmOptions::default()
+        },
+    ))
 }
 
 /// Analyzes a source and prints its hot-loop table (shared by `analyze`
@@ -217,7 +251,7 @@ fn cmd_stats(rest: &[String]) -> CliResult {
 
     // Batch-pipeline footprint for the same run: the materialized trace
     // plus the DDG the streaming engine never builds.
-    let mut vm = Vm::new(&module);
+    let mut vm = vm_for(&module, rest)?;
     vm.set_capture(CaptureSpec::Program, path);
     vm.run_main()?;
     let trace = vm.take_trace().expect("capture armed");
@@ -272,8 +306,12 @@ fn cmd_profile(rest: &[String]) -> CliResult {
     let path = positional(rest, 0).ok_or("profile: missing <file.kern>")?;
     let source = read_source(path)?;
     let module = vectorscope_frontend::compile(path, &source)?;
-    let mut vm = Vm::new(&module);
+    let t0 = std::time::Instant::now();
+    let mut vm = vm_for(&module, rest)?;
+    let decode_time = t0.elapsed();
+    let t1 = std::time::Instant::now();
     vm.run_main()?;
+    let execute_time = t1.elapsed();
     let profiles = vm.profiler().profiles(&module, vm.forests());
     println!(
         "{:<30} {:>6} {:>14} {:>14} {:>10} {:>8}",
@@ -291,6 +329,52 @@ fn cmd_profile(rest: &[String]) -> CliResult {
         );
     }
     println!("total cycles: {}", vm.profiler().total_cycles());
+    // The default output above is deterministic (CI diffs two runs); the
+    // wall-clock phase breakdown is opt-in behind `--phases`.
+    if flag(rest, "--phases") {
+        drop(vm);
+        let t2 = std::time::Instant::now();
+        let mut cap_vm = vm_for(&module, rest)?;
+        cap_vm.set_capture(CaptureSpec::Program, path);
+        cap_vm.run_main()?;
+        let trace = cap_vm.take_trace().expect("capture armed");
+        let trace_time = t2.elapsed();
+        let t3 = std::time::Instant::now();
+        let ddg = vectorscope_ddg::Ddg::build(&module, &trace);
+        let ddg_time = t3.elapsed();
+        let t4 = std::time::Instant::now();
+        let _ = vectorscope::metrics::analyze_ddg(
+            &module,
+            &ddg,
+            &vectorscope::metrics::MetricOptions {
+                break_reductions: false,
+                threads: 1,
+            },
+        );
+        let analysis_time = t4.elapsed();
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!("phase breakdown (wall clock):");
+        println!(
+            "  decode    {:>10.3} ms  (VM construction incl. bytecode pre-decode)",
+            ms(decode_time)
+        );
+        println!(
+            "  execute   {:>10.3} ms  (profiling run, no capture)",
+            ms(execute_time)
+        );
+        println!(
+            "  trace     {:>10.3} ms  (capture run incl. event buffering)",
+            ms(trace_time)
+        );
+        println!(
+            "  ddg       {:>10.3} ms  (dependence-graph construction)",
+            ms(ddg_time)
+        );
+        println!(
+            "  analysis  {:>10.3} ms  (partitioning + stride stages)",
+            ms(analysis_time)
+        );
+    }
     Ok(())
 }
 
@@ -322,7 +406,7 @@ fn cmd_trace(rest: &[String]) -> CliResult {
     let path = positional(rest, 0).ok_or("trace: missing <file.kern>")?;
     let source = read_source(path)?;
     let module = vectorscope_frontend::compile(path, &source)?;
-    let mut vm = Vm::new(&module);
+    let mut vm = vm_for(&module, rest)?;
     vm.set_capture(CaptureSpec::Program, path);
     vm.run_main()?;
     let trace = vm.take_trace().expect("capture armed");
@@ -416,7 +500,7 @@ fn cmd_parallelism(rest: &[String]) -> CliResult {
     let path = positional(rest, 0).ok_or("parallelism: missing <file.kern>")?;
     let source = read_source(path)?;
     let module = vectorscope_frontend::compile(path, &source)?;
-    let mut vm = Vm::new(&module);
+    let mut vm = vm_for(&module, rest)?;
     vm.set_capture(CaptureSpec::Program, path);
     vm.run_main()?;
     let trace = vm.take_trace().expect("capture armed");
@@ -460,7 +544,7 @@ fn cmd_ddg(rest: &[String]) -> CliResult {
     let path = positional(rest, 0).ok_or("ddg: missing <file.kern>")?;
     let source = read_source(path)?;
     let module = vectorscope_frontend::compile(path, &source)?;
-    let mut vm = Vm::new(&module);
+    let mut vm = vm_for(&module, rest)?;
     vm.set_capture(CaptureSpec::Program, path);
     vm.run_main()?;
     let trace = vm.take_trace().expect("capture armed");

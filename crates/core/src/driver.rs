@@ -7,7 +7,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use vectorscope_ddg::{BuildError, CandidatePolicy, Ddg};
 use vectorscope_frontend::CompileError;
-use vectorscope_interp::{CaptureSpec, Vm, VmError, VmOptions};
+use vectorscope_interp::{CaptureSpec, Engine, Vm, VmError, VmOptions};
 use vectorscope_ir::loops::LoopId;
 use vectorscope_ir::{FuncId, Module};
 
@@ -138,6 +138,11 @@ pub struct AnalysisOptions {
     /// Combined with `break_reductions` the driver silently falls back to
     /// the batch engine — reduction-chain discovery needs the whole graph.
     pub streaming: bool,
+    /// Which VM execution engine runs the profiling and capture passes
+    /// (default [`Engine::Decoded`], the pre-decoded bytecode engine;
+    /// [`Engine::Tree`] is the tree-walking escape hatch). Both produce
+    /// byte-identical traces, profiles, and reports.
+    pub engine: Engine,
 }
 
 impl Default for AnalysisOptions {
@@ -150,6 +155,7 @@ impl Default for AnalysisOptions {
             fuel: 2_000_000_000,
             threads: 0,
             streaming: false,
+            engine: Engine::default(),
         }
     }
 }
@@ -158,6 +164,7 @@ impl AnalysisOptions {
     fn vm_options(&self) -> VmOptions {
         VmOptions {
             fuel: self.fuel,
+            engine: self.engine,
             ..VmOptions::default()
         }
     }

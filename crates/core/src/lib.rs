@@ -83,3 +83,4 @@ pub use report::LoopReport;
 pub use stream::{StreamOutcome, StreamStats, StreamingAnalyzer};
 pub use stride::{non_unit_stride, unit_stride, StrideReport};
 pub use vectorscope_ddg::CandidatePolicy;
+pub use vectorscope_interp::Engine;

@@ -42,7 +42,7 @@
 //! `break_reductions` is requested.
 
 use crate::metrics::{assemble, InstMetrics, LaneOutcome, LoopMetrics, MetricOptions};
-use crate::stride::{analyze_sorted_tuples, StrideReport};
+use crate::stride::{analyze_sorted_tuples, SortedTuples, StrideReport};
 use std::collections::HashMap;
 use vectorscope_ddg::{BuildError, CandidatePolicy};
 use vectorscope_ir::{InstId, InstKind, Module, TermKind, Value};
@@ -282,16 +282,14 @@ impl<'m> StreamingAnalyzer<'m> {
         // order, so aggregation is byte-identical at every thread count.
         let reports: Vec<StrideReport> =
             rayon_lite::par_map(options.threads, &shards, |_, &(l, g)| {
-                // Payload = within-partition index: unique and in execution
-                // order, so a plain sort is a stable sort by tuple — the
-                // same tuple sequence the batch engine's (tuple, node id)
-                // sort produces.
-                let mut tuples: Vec<(Vec<u64>, u32)> = accum[l][g]
-                    .chunks_exact(arities[l])
-                    .enumerate()
-                    .map(|(i, t)| (t.to_vec(), i as u32))
-                    .collect();
-                tuples.sort();
+                // The accumulator is already the flat key arena the stride
+                // core wants; payload = within-partition index, unique and
+                // in execution order, so the arena sort orders by tuple
+                // exactly like the batch engine's (tuple, node id) sort.
+                let arity = arities[l];
+                let instances = (accum[l][g].len() / arity.max(1)) as u32;
+                let tuples =
+                    SortedTuples::from_flat(accum[l][g].clone(), (0..instances).collect(), arity);
                 analyze_sorted_tuples(&tuples, elems[l])
             });
         let mut reports = reports.into_iter();

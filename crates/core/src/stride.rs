@@ -77,39 +77,109 @@ pub fn analyze_partition(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Stride
     analyze_sorted_tuples(&sorted_tuples(ddg, partition), elem_size)
 }
 
-/// Sorted address tuples for the instances, with original node ids.
-fn sorted_tuples(ddg: &Ddg, nodes: &[u32]) -> Vec<(Vec<u64>, u32)> {
-    let mut tuples: Vec<(Vec<u64>, u32)> =
-        nodes.iter().map(|&n| (ddg.operand_addrs(n), n)).collect();
-    tuples.sort();
-    tuples
+/// Address tuples for one partition, sorted, stored as one flat key arena.
+///
+/// Every instance of a partition carries the same number of operand
+/// addresses (`arity` — the static instruction's operand count), so the
+/// tuples live contiguously in `keys` with the payloads alongside in
+/// `payloads`, instead of one heap `Vec<u64>` per instance. Both scan
+/// stages then work over fixed-arity key *slices* and never clone a tuple.
+pub(crate) struct SortedTuples {
+    /// Flat sorted keys, `arity` addresses per tuple.
+    keys: Vec<u64>,
+    /// Payloads in the same sorted order.
+    payloads: Vec<u32>,
+    /// Addresses per tuple.
+    arity: usize,
 }
 
-/// Runs both stride stages directly over pre-sorted `(address tuple,
-/// payload)` pairs — the payload-generic core shared by the batch engine
-/// (payload = DDG node id) and the streaming engine (payload =
-/// within-partition instance index).
+impl SortedTuples {
+    /// Sorts a flat `(keys, payloads)` arena by key tuple then payload.
+    ///
+    /// Payloads must be unique (both engines use strictly increasing ones),
+    /// which makes the `(tuple, payload)` order total — `sort_unstable`
+    /// over it is therefore indistinguishable from the stable
+    /// sort-by-tuple the subpartition structure is defined against.
+    pub(crate) fn from_flat(keys: Vec<u64>, payloads: Vec<u32>, arity: usize) -> SortedTuples {
+        debug_assert_eq!(keys.len(), payloads.len() * arity);
+        let mut order: Vec<u32> = (0..payloads.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            keys[a * arity..(a + 1) * arity]
+                .cmp(&keys[b * arity..(b + 1) * arity])
+                .then(payloads[a].cmp(&payloads[b]))
+        });
+        let mut sorted_keys = Vec::with_capacity(keys.len());
+        let mut sorted_payloads = Vec::with_capacity(payloads.len());
+        for &i in &order {
+            let i = i as usize;
+            sorted_keys.extend_from_slice(&keys[i * arity..(i + 1) * arity]);
+            sorted_payloads.push(payloads[i]);
+        }
+        SortedTuples {
+            keys: sorted_keys,
+            payloads: sorted_payloads,
+            arity,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    fn key(&self, i: usize) -> &[u64] {
+        &self.keys[i * self.arity..(i + 1) * self.arity]
+    }
+
+    fn payload(&self, i: usize) -> u32 {
+        self.payloads[i]
+    }
+}
+
+/// Gathers the instances' address tuples into a sorted flat arena.
+fn sorted_tuples(ddg: &Ddg, nodes: &[u32]) -> SortedTuples {
+    let mut keys = Vec::new();
+    for &n in nodes {
+        ddg.push_operand_addrs(n, &mut keys);
+    }
+    let arity = if nodes.is_empty() {
+        0
+    } else {
+        keys.len() / nodes.len()
+    };
+    debug_assert_eq!(
+        keys.len(),
+        arity * nodes.len(),
+        "instances of one static instruction must share an operand count"
+    );
+    SortedTuples::from_flat(keys, nodes.to_vec(), arity)
+}
+
+/// Runs both stride stages over a sorted tuple arena — the payload-generic
+/// core shared by the batch engine (payload = DDG node id) and the
+/// streaming engine (payload = within-partition instance index).
 ///
-/// Both engines sort pairs whose payloads are unique and increase in
-/// execution order, so a plain `sort()` is a stable sort by tuple and the
-/// resulting subpartition *structure* (membership pattern and sizes)
+/// Both engines feed payloads that are unique and increase in execution
+/// order, so the subpartition *structure* (membership pattern and sizes)
 /// depends only on the tuple multiset. That is the equivalence the
 /// streaming engine's byte-identity contract rests on: it never needs node
 /// ids, only the same group sizes.
-pub(crate) fn analyze_sorted_tuples(tuples: &[(Vec<u64>, u32)], elem_size: u64) -> StrideReport {
+pub(crate) fn analyze_sorted_tuples(tuples: &SortedTuples, elem_size: u64) -> StrideReport {
     let runs = unit_runs(tuples, elem_size);
     let mut report = StrideReport::default();
-    let mut leftovers: Vec<(Vec<u64>, u32)> = Vec::new();
+    let mut leftovers: Vec<usize> = Vec::new();
     for run in runs {
         if run.len() >= 2 {
-            report.unit.push(run.iter().map(|&i| tuples[i].1).collect());
+            report
+                .unit
+                .push(run.iter().map(|&i| tuples.payload(i)).collect());
         } else {
             // Singleton runs fall out in scan order, which is the sorted
             // order the wait-list stage expects.
-            leftovers.extend(run.into_iter().map(|i| tuples[i].clone()));
+            leftovers.extend(run);
         }
     }
-    for sp in non_unit_scan(leftovers) {
+    for sp in non_unit_scan(tuples, leftovers) {
         if sp.len() >= 2 {
             report.non_unit.push(sp);
         } else {
@@ -119,41 +189,44 @@ pub(crate) fn analyze_sorted_tuples(tuples: &[(Vec<u64>, u32)], elem_size: u64) 
     report
 }
 
-/// The §3.2 scan over pre-sorted tuples, returning maximal unit/zero-stride
+/// The §3.2 scan over the sorted arena, returning maximal unit/zero-stride
 /// runs as indices into `tuples`.
-fn unit_runs(tuples: &[(Vec<u64>, u32)], elem_size: u64) -> Vec<Vec<usize>> {
+fn unit_runs(tuples: &SortedTuples, elem_size: u64) -> Vec<Vec<usize>> {
+    let arity = tuples.arity;
     let mut out: Vec<Vec<usize>> = Vec::new();
     let mut current: Vec<usize> = Vec::new();
-    let mut current_tuple: Option<&Vec<u64>> = None;
-    let mut established: Option<Vec<u64>> = None;
+    // The established per-operand stride pattern, valid when `has_est`;
+    // `delta` is scratch for the candidate pattern under test. Reusing both
+    // across runs keeps the scan allocation-free.
+    let mut established: Vec<u64> = vec![0; arity];
+    let mut has_est = false;
+    let mut delta: Vec<u64> = vec![0; arity];
 
-    for (i, (tuple, _)) in tuples.iter().enumerate() {
-        if let Some(prev) = current_tuple {
-            let delta: Option<Vec<u64>> = prev
-                .iter()
-                .zip(tuple)
-                .map(|(&a, &b)| b.checked_sub(a))
-                .collect();
-            let ok = match delta {
-                Some(d)
-                    if d.iter().all(|&x| x == 0 || x == elem_size)
-                        && established.as_ref().map(|e| *e == d).unwrap_or(true) =>
-                {
-                    established = Some(d);
-                    true
+    for i in 0..tuples.len() {
+        if let Some(&prev) = current.last() {
+            let (pk, ck) = (tuples.key(prev), tuples.key(i));
+            let mut ok = true;
+            for j in 0..arity {
+                match ck[j].checked_sub(pk[j]) {
+                    Some(d) if (d == 0 || d == elem_size) && (!has_est || established[j] == d) => {
+                        delta[j] = d;
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
                 }
-                _ => false,
-            };
+            }
             if ok {
+                established.copy_from_slice(&delta);
+                has_est = true;
                 current.push(i);
-                current_tuple = Some(tuple);
                 continue;
             }
             out.push(std::mem::take(&mut current));
-            established = None;
+            has_est = false;
         }
         current.push(i);
-        current_tuple = Some(tuple);
     }
     if !current.is_empty() {
         out.push(current);
@@ -161,43 +234,46 @@ fn unit_runs(tuples: &[(Vec<u64>, u32)], elem_size: u64) -> Vec<Vec<usize>> {
     out
 }
 
-/// The §3.3 wait-list scan over pre-sorted tuples, returning payload
-/// groups.
-fn non_unit_scan(mut pending: Vec<(Vec<u64>, u32)>) -> Vec<Vec<u32>> {
+/// The §3.3 wait-list scan over the sorted arena, taking leftover tuple
+/// indices (in sorted order) and returning payload groups.
+fn non_unit_scan(tuples: &SortedTuples, mut pending: Vec<usize>) -> Vec<Vec<u32>> {
+    let arity = tuples.arity;
     let mut out = Vec::new();
+    let mut established: Vec<u64> = vec![0; arity];
+    let mut delta: Vec<u64> = vec![0; arity];
     while !pending.is_empty() {
-        let mut waitlist: Vec<(Vec<u64>, u32)> = Vec::new();
+        let mut waitlist: Vec<usize> = Vec::new();
         let mut current: Vec<u32> = Vec::new();
-        let mut prev_tuple: Option<&Vec<u64>> = None;
-        let mut established: Option<Vec<u64>> = None;
-        for (tuple, node) in &pending {
-            match prev_tuple {
+        let mut prev: Option<usize> = None;
+        let mut has_est = false;
+        for &i in &pending {
+            match prev {
                 None => {
-                    current.push(*node);
-                    prev_tuple = Some(tuple);
+                    current.push(tuples.payload(i));
+                    prev = Some(i);
                 }
-                Some(prev) => {
-                    let delta: Option<Vec<u64>> = prev
-                        .iter()
-                        .zip(tuple)
-                        .map(|(&a, &b)| b.checked_sub(a))
-                        .collect();
-                    let ok = match &delta {
-                        Some(d) => match &established {
-                            Some(e) => e == d,
+                Some(p) => {
+                    let (pk, ck) = (tuples.key(p), tuples.key(i));
+                    let mut ok = true;
+                    for j in 0..arity {
+                        match ck[j].checked_sub(pk[j]) {
                             // The first delta establishes the subpartition's
                             // stride ("scanning based on the current
-                            // stride", §3.3).
-                            None => true,
-                        },
-                        None => false,
-                    };
+                            // stride", §3.3); later ones must match it.
+                            Some(d) if !has_est || established[j] == d => delta[j] = d,
+                            _ => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
                     if ok {
-                        established = delta;
-                        current.push(*node);
-                        prev_tuple = Some(tuple);
+                        established.copy_from_slice(&delta);
+                        has_est = true;
+                        current.push(tuples.payload(i));
+                        prev = Some(i);
                     } else {
-                        waitlist.push((tuple.clone(), *node));
+                        waitlist.push(i);
                     }
                 }
             }
@@ -219,7 +295,7 @@ pub fn unit_stride(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Vec<Vec<u32>
     let tuples = sorted_tuples(ddg, partition);
     unit_runs(&tuples, elem_size)
         .into_iter()
-        .map(|run| run.into_iter().map(|i| tuples[i].1).collect())
+        .map(|run| run.into_iter().map(|i| tuples.payload(i)).collect())
         .collect()
 }
 
@@ -231,7 +307,9 @@ pub fn unit_stride(ddg: &Ddg, partition: &[u32], elem_size: u64) -> Vec<Vec<u32>
 /// deferring mismatching instances to a wait list; the wait list is then
 /// re-scanned for the next subpartition until no instances remain.
 pub fn non_unit_stride(ddg: &Ddg, singletons: &[u32]) -> Vec<Vec<u32>> {
-    non_unit_scan(sorted_tuples(ddg, singletons))
+    let tuples = sorted_tuples(ddg, singletons);
+    let all: Vec<usize> = (0..tuples.len()).collect();
+    non_unit_scan(&tuples, all)
 }
 
 #[cfg(test)]

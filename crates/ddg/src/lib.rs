@@ -302,21 +302,27 @@ impl Ddg {
     /// each input operand, the dynamic address of the load that produced it,
     /// or 0 for immediates and register-computed values.
     pub fn operand_addrs(&self, n: u32) -> Vec<u64> {
-        self.operand_writers(n)
-            .iter()
-            .map(|&w| {
-                if w == EXTERNAL {
-                    0
+        let mut out = Vec::with_capacity(self.operand_writers(n).len());
+        self.push_operand_addrs(n, &mut out);
+        out
+    }
+
+    /// Appends node `n`'s operand address tuple (see
+    /// [`Ddg::operand_addrs`]) onto `out` without allocating a per-node
+    /// vector — the stride analysis builds its flat key arenas with this.
+    pub fn push_operand_addrs(&self, n: u32, out: &mut Vec<u64>) {
+        for &w in self.operand_writers(n) {
+            out.push(if w == EXTERNAL {
+                0
+            } else {
+                let node = &self.nodes[w as usize];
+                if node.class == NodeClass::Load {
+                    node.addr
                 } else {
-                    let node = &self.nodes[w as usize];
-                    if node.class == NodeClass::Load {
-                        node.addr
-                    } else {
-                        0
-                    }
+                    0
                 }
-            })
-            .collect()
+            });
+        }
     }
 
     /// Element size (in bytes) of values flowing into candidate instances of
@@ -420,6 +426,55 @@ pub struct SyntheticNode {
     pub writers: Vec<u32>,
 }
 
+/// Base-2 log of the shadow page size: 4096 byte-addresses per page.
+const PAGE_BITS: u64 = 12;
+/// Slots per shadow page.
+const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+
+/// One page of the memory shadow: the last writer node and its write size
+/// for every base address in a 4 KiB-aligned address range. Slots with
+/// `nodes == EXTERNAL` are empty.
+struct ShadowPage {
+    nodes: Box<[u32]>,
+    sizes: Box<[u8]>,
+}
+
+/// Paged direct-map shadow of the most recent memory write per base
+/// address (the layout the streaming engine's packed shadows proved).
+/// Hot probes index a flat page instead of hashing every base in the
+/// 15-wide overlap window; pages stay sparse in a map keyed by
+/// `addr >> PAGE_BITS`, so writes anywhere in the `u64` address space —
+/// including the saturating probes near `u64::MAX` exercised by the
+/// overlap regression tests — cost one page, not an address-space-sized
+/// table.
+struct MemShadow {
+    pages: HashMap<u64, ShadowPage>,
+}
+
+impl MemShadow {
+    fn new() -> MemShadow {
+        MemShadow {
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Records `node` as the most recent writer at base `addr` with write
+    /// size `size` (at most 8 bytes).
+    fn insert(&mut self, addr: u64, node: u32, size: u64) {
+        debug_assert!(size <= u8::MAX as u64, "write size fits the shadow");
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| ShadowPage {
+                nodes: vec![EXTERNAL; PAGE_SLOTS].into_boxed_slice(),
+                sizes: vec![0u8; PAGE_SLOTS].into_boxed_slice(),
+            });
+        let slot = (addr & (PAGE_SLOTS as u64 - 1)) as usize;
+        page.nodes[slot] = node;
+        page.sizes[slot] = size as u8;
+    }
+}
+
 struct Builder<'m> {
     module: Option<&'m Module>,
     nodes: Vec<Node>,
@@ -430,7 +485,7 @@ struct Builder<'m> {
     /// Write base address -> (writer node, write size). Reads resolve to
     /// the most recent write overlapping any byte of the read (see
     /// [`Builder::mem_writer_for`]).
-    mem_writers: HashMap<u64, (u32, u64)>,
+    mem_writers: MemShadow,
     /// Open calls: (callee activation, caller activation, dst register).
     call_stack: Vec<(u32, u32, Option<u32>)>,
     elem_size: HashMap<InstId, u64>,
@@ -445,7 +500,7 @@ impl<'m> Builder<'m> {
             op_offsets: vec![0],
             op_writers: Vec::new(),
             reg_writers: HashMap::new(),
-            mem_writers: HashMap::new(),
+            mem_writers: MemShadow::new(),
             call_stack: Vec::new(),
             elem_size: HashMap::new(),
             policy: CandidatePolicy::FloatArith,
@@ -459,7 +514,7 @@ impl<'m> Builder<'m> {
             op_offsets: vec![0],
             op_writers: Vec::new(),
             reg_writers: HashMap::new(),
-            mem_writers: HashMap::new(),
+            mem_writers: MemShadow::new(),
             call_stack: Vec::new(),
             elem_size: HashMap::new(),
             policy: CandidatePolicy::FloatArith,
@@ -487,14 +542,31 @@ impl<'m> Builder<'m> {
         let mut best = EXTERNAL;
         let lo = addr.saturating_sub(7);
         let hi = addr.saturating_add(size - 1); // last byte of the read
+                                                // The probe window is at most 15 bases wide, so it touches at most
+                                                // two shadow pages; cache the current page across iterations.
+        let mut cached: Option<(u64, Option<&ShadowPage>)> = None;
         for base in lo..=hi {
-            if let Some(&(n, ws)) = self.mem_writers.get(&base) {
-                // `base <= hi` already holds; overlap needs the write to
-                // reach back to `addr` (always true for bases >= addr).
-                let reaches = ws > 0 && base.checked_add(ws - 1).is_none_or(|end| end >= addr);
-                if reaches && (best == EXTERNAL || n > best) {
-                    best = n;
+            let page_id = base >> PAGE_BITS;
+            let page = match &cached {
+                Some((id, p)) if *id == page_id => *p,
+                _ => {
+                    let p = self.mem_writers.pages.get(&page_id);
+                    cached = Some((page_id, p));
+                    p
                 }
+            };
+            let Some(page) = page else { continue };
+            let slot = (base & (PAGE_SLOTS as u64 - 1)) as usize;
+            let n = page.nodes[slot];
+            if n == EXTERNAL {
+                continue;
+            }
+            let ws = page.sizes[slot] as u64;
+            // `base <= hi` already holds; overlap needs the write to
+            // reach back to `addr` (always true for bases >= addr).
+            let reaches = ws > 0 && base.checked_add(ws - 1).is_none_or(|end| end >= addr);
+            if reaches && (best == EXTERNAL || n > best) {
+                best = n;
             }
         }
         best
@@ -575,7 +647,7 @@ impl<'m> Builder<'m> {
                 let a = addr.expect("store event carries an address");
                 let writers = [self.writer_of(act, *addr_op), self.writer_of(act, *value)];
                 let n = self.push_node(inst_id, a, NodeClass::Store, &writers)?;
-                self.mem_writers.insert(a, (n, ty.size()));
+                self.mem_writers.insert(a, n, ty.size());
             }
             other => {
                 let mut writers = Vec::new();

@@ -36,6 +36,7 @@
 #![deny(missing_docs)]
 
 mod cost;
+mod decode;
 mod memory;
 mod profiler;
 mod vm;
@@ -43,4 +44,4 @@ mod vm;
 pub use cost::CostModel;
 pub use memory::Memory;
 pub use profiler::{HotLoop, LoopKey, LoopProfile, Profiler};
-pub use vm::{CaptureSpec, EventSink, RtVal, Vm, VmError, VmOptions};
+pub use vm::{CaptureSpec, Engine, EventSink, RtVal, Vm, VmError, VmOptions};

@@ -72,6 +72,14 @@ impl Profiler {
         *self.entries.entry(loop_key).or_insert(0) += 1;
     }
 
+    /// Records `n` entries into `loop_key` at once. The decoded engine
+    /// accumulates entry counts in flat per-run arrays and flushes them
+    /// here, which is observably identical to `n` [`Profiler::record_entry`]
+    /// calls.
+    pub fn add_entries(&mut self, loop_key: LoopKey, n: u64) {
+        *self.entries.entry(loop_key).or_insert(0) += n;
+    }
+
     /// Total cycles across the whole run.
     pub fn total_cycles(&self) -> u64 {
         self.total_cycles

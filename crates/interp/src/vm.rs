@@ -1,13 +1,15 @@
 //! The interpreter: execution, cycle accounting, and trace capture.
 
 use crate::cost::CostModel;
+use crate::decode::{Action, DecodedModule, Edge, Opnd, NO_LOOP};
 use crate::memory::Memory;
 use crate::profiler::{LoopKey, Profiler};
 use std::fmt;
+use std::rc::Rc;
 use vectorscope_ir::loops::{LoopForest, LoopId};
 use vectorscope_ir::{
-    BinOp, BlockId, CmpOp, FuncId, InstKind, Intrinsic, Module, RegId, ScalarTy, Span, TermKind,
-    UnOp, Value,
+    BinOp, BlockId, CmpOp, FuncId, InstId, InstKind, Intrinsic, Module, RegId, ScalarTy, Span,
+    TermKind, UnOp, Value,
 };
 use vectorscope_trace::{Trace, TraceEvent};
 
@@ -88,6 +90,23 @@ impl fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
+/// Which execution engine [`Vm::run`] uses.
+///
+/// Both engines are observably identical — same results, same trace bytes,
+/// same profiles, same fuel accounting — and differ only in speed. The
+/// tree walker re-interprets structured IR per instruction; the decoded
+/// engine lowers each function once into flat bytecode (see the crate's
+/// `decode` module) and dispatches over fixed-size pre-resolved ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Pre-decoded flat bytecode with fused superinstructions (default).
+    #[default]
+    Decoded,
+    /// The original structured-IR tree-walking interpreter, kept as an
+    /// escape hatch and as the differential-testing reference.
+    Tree,
+}
+
 /// VM configuration.
 #[derive(Debug, Clone)]
 pub struct VmOptions {
@@ -97,6 +116,8 @@ pub struct VmOptions {
     pub mem_limit: u64,
     /// Cycle cost table for the profiler.
     pub cost: CostModel,
+    /// Which execution engine to use.
+    pub engine: Engine,
 }
 
 impl Default for VmOptions {
@@ -105,6 +126,7 @@ impl Default for VmOptions {
             fuel: 2_000_000_000,
             mem_limit: 256 << 20,
             cost: CostModel::default(),
+            engine: Engine::default(),
         }
     }
 }
@@ -219,6 +241,14 @@ pub struct Vm<'m> {
     next_activation: u32,
     inst_counts: Vec<u64>,
     branch_taken: Vec<u64>,
+    /// Flat bytecode, built once at construction when the decoded engine
+    /// is selected (shared so the dispatch loop can hold a reference while
+    /// the VM is borrowed mutably).
+    decoded: Option<Rc<DecodedModule>>,
+    /// Indices of currently active captures, so the decoded engine's emit
+    /// path walks only live consumers; rebuilt lazily when stale.
+    active_idx: Vec<u32>,
+    active_dirty: bool,
 }
 
 impl<'m> Vm<'m> {
@@ -229,10 +259,18 @@ impl<'m> Vm<'m> {
 
     /// Creates a VM with explicit options.
     pub fn with_options(module: &'m Module, options: VmOptions) -> Self {
-        let forests = module.functions().iter().map(LoopForest::new).collect();
+        let forests: Vec<LoopForest> = module.functions().iter().map(LoopForest::new).collect();
         let mem = Memory::for_module(module, options.mem_limit);
         let inst_counts = vec![0; module.num_inst_ids()];
         let branch_taken = vec![0; module.num_inst_ids()];
+        let decoded = match options.engine {
+            Engine::Decoded => Some(Rc::new(DecodedModule::build(
+                module,
+                &forests,
+                &options.cost,
+            ))),
+            Engine::Tree => None,
+        };
         Vm {
             module,
             forests,
@@ -244,6 +282,9 @@ impl<'m> Vm<'m> {
             next_activation: 0,
             inst_counts,
             branch_taken,
+            decoded,
+            active_idx: Vec::new(),
+            active_dirty: true,
         }
     }
 
@@ -293,6 +334,7 @@ impl<'m> Vm<'m> {
     /// [`Vm::add_capture`].
     pub fn set_capture(&mut self, spec: CaptureSpec, label: &str) {
         self.captures = vec![Capture::new(spec, label)];
+        self.active_dirty = true;
     }
 
     /// Arms an additional capture alongside those already armed.
@@ -303,6 +345,7 @@ impl<'m> Vm<'m> {
     /// program once per target.
     pub fn add_capture(&mut self, spec: CaptureSpec, label: &str) {
         self.captures.push(Capture::new(spec, label));
+        self.active_dirty = true;
     }
 
     /// Arms a push-style event sink alongside any captures already armed.
@@ -318,6 +361,7 @@ impl<'m> Vm<'m> {
     /// yield an empty trace slot in [`Vm::take_traces`].
     pub fn add_sink(&mut self, spec: CaptureSpec, sink: EventSink<'m>) {
         self.captures.push(Capture::new_sink(spec, sink));
+        self.active_dirty = true;
     }
 
     /// Takes the captured trace, if capture was armed and fired.
@@ -325,6 +369,7 @@ impl<'m> Vm<'m> {
     /// With several armed captures this returns the first; use
     /// [`Vm::take_traces`] to collect all of them.
     pub fn take_trace(&mut self) -> Option<Trace> {
+        self.active_dirty = true;
         if self.captures.is_empty() {
             None
         } else {
@@ -341,6 +386,7 @@ impl<'m> Vm<'m> {
     /// result lines up index-for-index with the arming calls; sink
     /// captures contribute an empty placeholder trace.
     pub fn take_traces(&mut self) -> Vec<Trace> {
+        self.active_dirty = true;
         std::mem::take(&mut self.captures)
             .into_iter()
             .map(|c| match c.body {
@@ -384,10 +430,21 @@ impl<'m> Vm<'m> {
 
     /// Runs `func` with `args` to completion and returns its result.
     ///
+    /// Dispatches to the engine selected in [`VmOptions::engine`]; the two
+    /// engines are byte-for-byte observationally identical.
+    ///
     /// # Errors
     ///
     /// Returns a [`VmError`] on trap, fuel exhaustion, or stack overflow.
     pub fn run(&mut self, func: FuncId, args: &[RtVal]) -> Result<Option<RtVal>, VmError> {
+        match self.options.engine {
+            Engine::Decoded => self.run_decoded(func, args),
+            Engine::Tree => self.run_tree(func, args),
+        }
+    }
+
+    /// The tree-walking engine: interprets structured IR directly.
+    fn run_tree(&mut self, func: FuncId, args: &[RtVal]) -> Result<Option<RtVal>, VmError> {
         let mut frames: Vec<Frame> = Vec::new();
         self.push_frame(&mut frames, func, args, None)?;
         // The entry frame itself may be the requested function capture.
@@ -556,13 +613,16 @@ impl<'m> Vm<'m> {
                 continue;
             }
 
-            // Terminator.
+            // Terminator. Fuel is checked *before* the execution count is
+            // bumped, in the same order as the non-terminator path above
+            // (and as the decoded engine), so `OutOfFuel` fires at the same
+            // instruction boundary with the same counters in both engines.
             let term = block.terminator().clone();
-            self.inst_counts[term.id.index()] += 1;
             self.fuel_used += 1;
             if self.fuel_used > self.options.fuel {
                 return Err(VmError::OutOfFuel);
             }
+            self.inst_counts[term.id.index()] += 1;
             let loop_key = self.forests[frame.func.index()]
                 .innermost_of(frame.block)
                 .map(|l| LoopKey {
@@ -678,21 +738,509 @@ impl<'m> Vm<'m> {
         Ok(())
     }
 
+    /// The pre-decoded bytecode engine: flushes its flat profiling
+    /// counters into the [`Profiler`] on every exit path so profiles match
+    /// the tree engine's incremental charging even after an error.
+    fn run_decoded(&mut self, func: FuncId, args: &[RtVal]) -> Result<Option<RtVal>, VmError> {
+        let dm = match &self.decoded {
+            Some(d) => Rc::clone(d),
+            None => {
+                let d = Rc::new(DecodedModule::build(
+                    self.module,
+                    &self.forests,
+                    &self.options.cost,
+                ));
+                self.decoded = Some(Rc::clone(&d));
+                d
+            }
+        };
+        let mut prof = FlatProfile {
+            loop_cycles: vec![0; dm.loop_keys.len()],
+            loop_entries: vec![0; dm.loop_keys.len()],
+            total: 0,
+        };
+        let result = self.run_decoded_inner(&dm, func, args, &mut prof);
+        let mut in_loops = 0u64;
+        for (i, &c) in prof.loop_cycles.iter().enumerate() {
+            if c > 0 {
+                self.profiler.charge(Some(dm.loop_keys[i]), c);
+                in_loops += c;
+            }
+        }
+        if prof.total > in_loops {
+            self.profiler.charge(None, prof.total - in_loops);
+        }
+        for (i, &n) in prof.loop_entries.iter().enumerate() {
+            if n > 0 {
+                self.profiler.add_entries(dm.loop_keys[i], n);
+            }
+        }
+        result
+    }
+
+    fn run_decoded_inner(
+        &mut self,
+        dm: &DecodedModule,
+        func: FuncId,
+        args: &[RtVal],
+        prof: &mut FlatProfile,
+    ) -> Result<Option<RtVal>, VmError> {
+        let mut frames: Vec<Frame> = Vec::new();
+        self.push_frame(&mut frames, func, args, None)?;
+        {
+            let top = frames.last_mut().expect("just pushed");
+            top.ip = dm.funcs[top.func.index()].block_pc[top.block.index()] as usize;
+        }
+        // The entry frame itself may be the requested function capture.
+        self.check_function_capture(&frames);
+        loop {
+            let depth = frames.len();
+            let frame = frames.last_mut().expect("at least one frame");
+            let dop = &dm.funcs[frame.func.index()].code[frame.ip];
+
+            self.fuel_used += 1;
+            if self.fuel_used > self.options.fuel {
+                return Err(VmError::OutOfFuel);
+            }
+            self.inst_counts[dop.inst.index()] += 1;
+            prof.total += dop.cost as u64;
+            if dop.loop_idx != NO_LOOP {
+                prof.loop_cycles[dop.loop_idx as usize] += dop.cost as u64;
+            }
+
+            match &dop.action {
+                Action::Bin {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = opnd_in(frame, *lhs);
+                    let b = opnd_in(frame, *rhs);
+                    let r =
+                        Self::eval_bin(*op, *ty, a, b).map_err(|m| self.trap_at(dop.inst, m))?;
+                    frame.regs[*dst as usize] = r;
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::Un { op, ty, dst, src } => {
+                    let v = opnd_in(frame, *src);
+                    frame.regs[*dst as usize] = match op {
+                        UnOp::INeg => RtVal::Int(v.as_int().wrapping_neg()),
+                        UnOp::FNeg => {
+                            let x = -v.as_float();
+                            RtVal::Float(if *ty == ScalarTy::F32 {
+                                (x as f32) as f64
+                            } else {
+                                x
+                            })
+                        }
+                    };
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::Cmp {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = opnd_in(frame, *lhs);
+                    let b = opnd_in(frame, *rhs);
+                    frame.regs[*dst as usize] = RtVal::Int(Self::eval_cmp(*op, *ty, a, b) as i64);
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::Cast { dst, to, from, src } => {
+                    let v = opnd_in(frame, *src);
+                    frame.regs[*dst as usize] = Self::eval_cast(*from, *to, v);
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::Load { dst, ty, addr } => {
+                    let a = opnd_in(frame, *addr).as_int() as u64;
+                    if !self.mem.check(a, ty.size()) {
+                        return Err(self.trap_at(
+                            dop.inst,
+                            format!("load of {} bytes at {a:#x} out of bounds", ty.size()),
+                        ));
+                    }
+                    frame.regs[*dst as usize] = match ty {
+                        ScalarTy::I64 | ScalarTy::Ptr => RtVal::Int(self.mem.read_int(a)),
+                        _ => RtVal::Float(self.mem.read_scalar(a, *ty)),
+                    };
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, Some(a));
+                    self.emit_active(ev);
+                }
+                Action::Store { ty, addr, value } => {
+                    let a = opnd_in(frame, *addr).as_int() as u64;
+                    if !self.mem.check(a, ty.size()) {
+                        return Err(self.trap_at(
+                            dop.inst,
+                            format!("store of {} bytes at {a:#x} out of bounds", ty.size()),
+                        ));
+                    }
+                    let v = opnd_in(frame, *value);
+                    match ty {
+                        ScalarTy::I64 | ScalarTy::Ptr => self.mem.write_int(a, v.as_int()),
+                        _ => self.mem.write_scalar(a, v.as_float(), *ty),
+                    }
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, Some(a));
+                    self.emit_active(ev);
+                }
+                Action::Gep1 {
+                    dst,
+                    base,
+                    idx,
+                    scale,
+                    offset,
+                } => {
+                    let base = opnd_in(frame, *base).as_int();
+                    let i = opnd_in(frame, *idx).as_int();
+                    let addr = base
+                        .wrapping_add(i.wrapping_mul(*scale))
+                        .wrapping_add(*offset);
+                    frame.regs[*dst as usize] = RtVal::Int(addr);
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::GepN {
+                    dst,
+                    base,
+                    pairs,
+                    offset,
+                } => {
+                    let mut addr = opnd_in(frame, *base).as_int();
+                    for (idx, scale) in pairs.iter() {
+                        let i = opnd_in(frame, *idx).as_int();
+                        addr = addr.wrapping_add(i.wrapping_mul(*scale));
+                    }
+                    addr = addr.wrapping_add(*offset);
+                    frame.regs[*dst as usize] = RtVal::Int(addr);
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::Call { dst, callee, args } => {
+                    let argv: Vec<RtVal> = args.iter().map(|&a| opnd_in(frame, a)).collect();
+                    let dst = *dst;
+                    let callee = *callee;
+                    frame.ip += 1;
+                    let caller_activation = frame.activation;
+                    let callee_activation = self.next_activation;
+                    self.emit_active(TraceEvent::call(
+                        dop.inst,
+                        caller_activation,
+                        callee_activation,
+                    ));
+                    self.push_frame(&mut frames, callee, &argv, dst)?;
+                    let top = frames.last_mut().expect("just pushed");
+                    top.ip = dm.funcs[top.func.index()].block_pc[top.block.index()] as usize;
+                    self.check_function_capture(&frames);
+                }
+                Action::Intrin {
+                    dst,
+                    which,
+                    ty,
+                    args,
+                    arity,
+                } => {
+                    let mut xs = [0.0f64; 2];
+                    let n = *arity as usize;
+                    for (slot, &a) in xs.iter_mut().zip(args.iter()).take(n) {
+                        *slot = opnd_in(frame, a).as_float();
+                    }
+                    let r = Self::eval_intrinsic(*which, &xs[..n]);
+                    frame.regs[*dst as usize] = RtVal::Float(if *ty == ScalarTy::F32 {
+                        (r as f32) as f64
+                    } else {
+                        r
+                    });
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::FrameAddr { dst, offset } => {
+                    frame.regs[*dst as usize] = RtVal::Int((frame.frame_base + offset) as i64);
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::GlobalAddr { dst, global } => {
+                    frame.regs[*dst as usize] = RtVal::Int(self.mem.global_base(*global) as i64);
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::LoadBin {
+                    load_dst,
+                    load_ty,
+                    addr,
+                    bin_inst,
+                    bin_cost,
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    // First constituent (the load); the shared preamble
+                    // above already charged it.
+                    let a = opnd_in(frame, *addr).as_int() as u64;
+                    if !self.mem.check(a, load_ty.size()) {
+                        return Err(self.trap_at(
+                            dop.inst,
+                            format!("load of {} bytes at {a:#x} out of bounds", load_ty.size()),
+                        ));
+                    }
+                    frame.regs[*load_dst as usize] = match load_ty {
+                        ScalarTy::I64 | ScalarTy::Ptr => RtVal::Int(self.mem.read_int(a)),
+                        _ => RtVal::Float(self.mem.read_scalar(a, *load_ty)),
+                    };
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, Some(a));
+                    self.emit_active(ev);
+                    // Second constituent (the binary op): its own fuel,
+                    // count, and cycle charges, exactly as if unfused.
+                    self.fuel_used += 1;
+                    if self.fuel_used > self.options.fuel {
+                        return Err(VmError::OutOfFuel);
+                    }
+                    self.inst_counts[bin_inst.index()] += 1;
+                    prof.total += *bin_cost as u64;
+                    if dop.loop_idx != NO_LOOP {
+                        prof.loop_cycles[dop.loop_idx as usize] += *bin_cost as u64;
+                    }
+                    let x = opnd_in(frame, *lhs);
+                    let y = opnd_in(frame, *rhs);
+                    let r =
+                        Self::eval_bin(*op, *ty, x, y).map_err(|m| self.trap_at(*bin_inst, m))?;
+                    frame.regs[*dst as usize] = r;
+                    frame.ip += 1;
+                    let ev = TraceEvent::plain(*bin_inst, frame.activation, None);
+                    self.emit_active(ev);
+                }
+                Action::CmpBr {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                    br_inst,
+                    br_cost,
+                    then_edge,
+                    else_edge,
+                } => {
+                    let a = opnd_in(frame, *lhs);
+                    let b = opnd_in(frame, *rhs);
+                    let taken = Self::eval_cmp(*op, *ty, a, b);
+                    frame.regs[*dst as usize] = RtVal::Int(taken as i64);
+                    let ev = TraceEvent::plain(dop.inst, frame.activation, None);
+                    self.emit_active(ev);
+                    // Second constituent (the branch).
+                    self.fuel_used += 1;
+                    if self.fuel_used > self.options.fuel {
+                        return Err(VmError::OutOfFuel);
+                    }
+                    self.inst_counts[br_inst.index()] += 1;
+                    prof.total += *br_cost as u64;
+                    if dop.loop_idx != NO_LOOP {
+                        prof.loop_cycles[dop.loop_idx as usize] += *br_cost as u64;
+                    }
+                    if taken {
+                        self.branch_taken[br_inst.index()] += 1;
+                    }
+                    let edge = if taken { *then_edge } else { *else_edge };
+                    let func = frame.func;
+                    frame.block = edge.block;
+                    frame.ip = edge.pc as usize;
+                    self.take_edge(dm, func, edge, depth, prof);
+                }
+                Action::Br { edge } => {
+                    let edge = *edge;
+                    let func = frame.func;
+                    frame.block = edge.block;
+                    frame.ip = edge.pc as usize;
+                    self.take_edge(dm, func, edge, depth, prof);
+                }
+                Action::CondBr {
+                    cond,
+                    then_edge,
+                    else_edge,
+                } => {
+                    let c = opnd_in(frame, *cond).as_int();
+                    if c != 0 {
+                        self.branch_taken[dop.inst.index()] += 1;
+                    }
+                    let edge = if c != 0 { *then_edge } else { *else_edge };
+                    let func = frame.func;
+                    frame.block = edge.block;
+                    frame.ip = edge.pc as usize;
+                    self.take_edge(dm, func, edge, depth, prof);
+                }
+                Action::Ret { value } => {
+                    let v = value.map(|o| opnd_in(frame, o));
+                    let activation = frame.activation;
+                    let frame_base = frame.frame_base;
+                    let ret_dst = frame.ret_dst;
+                    // Loop capture ends if the starting frame returns.
+                    let mut changed = false;
+                    for c in &mut self.captures {
+                        if c.active
+                            && depth == c.start_depth
+                            && !matches!(c.spec, CaptureSpec::Program)
+                        {
+                            c.active = false;
+                            c.done = true;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        self.active_dirty = true;
+                    }
+                    self.emit_active(TraceEvent::ret(dop.inst, activation));
+                    self.mem.pop_frame(frame_base);
+                    frames.pop();
+                    match frames.last_mut() {
+                        None => return Ok(v),
+                        Some(caller) => {
+                            if let (Some(dst), Some(v)) = (ret_dst, v) {
+                                caller.regs[dst.index()] = v;
+                            }
+                            // Function capture: deactivate when leaving the
+                            // captured activation's depth.
+                            let mut changed = false;
+                            for c in &mut self.captures {
+                                if c.active
+                                    && matches!(c.spec, CaptureSpec::Function { .. })
+                                    && frames.len() < c.start_depth
+                                {
+                                    c.active = false;
+                                    c.done = true;
+                                    changed = true;
+                                }
+                            }
+                            if changed {
+                                self.active_dirty = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decoded-engine bookkeeping for a taken control-flow edge: flat
+    /// loop-entry counts plus loop-capture activation/stop (the decoded
+    /// counterpart of [`Vm::note_transition`], with the loop-forest
+    /// ancestor walk replaced by the edge's pre-computed entered list).
+    fn take_edge(
+        &mut self,
+        dm: &DecodedModule,
+        func: FuncId,
+        edge: Edge,
+        depth: usize,
+        prof: &mut FlatProfile,
+    ) {
+        let entered = &dm.funcs[func.index()].entered_pool
+            [edge.entered_off as usize..(edge.entered_off + edge.entered_len) as usize];
+        for &d in entered {
+            prof.loop_entries[d as usize] += 1;
+        }
+        if !self.captures.is_empty() {
+            let forest = &self.forests[func.index()];
+            let cur = edge.block;
+            let mut changed = false;
+            for c in &mut self.captures {
+                if c.done {
+                    continue;
+                }
+                if let CaptureSpec::Loop {
+                    func: cf,
+                    loop_id,
+                    instance,
+                } = c.spec
+                {
+                    if c.active {
+                        // Exit: back in the start frame, moving to a block
+                        // outside the loop.
+                        if depth == c.start_depth
+                            && cf == func
+                            && !forest.get(loop_id).contains(cur)
+                        {
+                            c.active = false;
+                            c.done = true;
+                            changed = true;
+                        }
+                    } else if cf == func
+                        && entered
+                            .iter()
+                            .any(|&d| dm.loop_keys[d as usize].loop_id == loop_id)
+                    {
+                        if c.seen == instance {
+                            c.active = true;
+                            c.start_depth = depth;
+                            changed = true;
+                        }
+                        c.seen += 1;
+                    }
+                }
+            }
+            if changed {
+                self.active_dirty = true;
+            }
+        }
+    }
+
+    /// Emits `event` to all active captures via the cached active-index
+    /// list (rebuilt lazily after any capture state change).
+    #[inline]
+    fn emit_active(&mut self, event: TraceEvent) {
+        if self.active_dirty {
+            self.rebuild_active();
+        }
+        for k in 0..self.active_idx.len() {
+            let i = self.active_idx[k] as usize;
+            match &mut self.captures[i].body {
+                CaptureBody::Trace(t) => t.push(event),
+                CaptureBody::Sink(sink) => sink(&event),
+            }
+        }
+    }
+
+    fn rebuild_active(&mut self) {
+        self.active_idx.clear();
+        for (i, c) in self.captures.iter().enumerate() {
+            if c.active {
+                self.active_idx.push(i as u32);
+            }
+        }
+        self.active_dirty = false;
+    }
+
+    /// A [`VmError::Trap`] at instruction `id` (cold path: the span lookup
+    /// only happens when a trap actually fires).
+    #[cold]
+    fn trap_at(&self, id: InstId, message: String) -> VmError {
+        VmError::Trap {
+            message,
+            span: self.module.span_of(id),
+        }
+    }
+
     /// Handles loop-entry bookkeeping for a block transition inside one
     /// frame: profiler entry counts and loop-capture activation/stop.
     fn note_transition(&mut self, func: FuncId, prev: BlockId, cur: BlockId, depth: usize) {
         let forest = &self.forests[func.index()];
-        // Walk the ancestor chain of `cur`'s innermost loop; each loop that
-        // does not contain `prev` was just entered.
-        let mut l = forest.innermost_of(cur);
-        let mut entered: Vec<LoopId> = Vec::new();
-        while let Some(id) = l {
-            if forest.get(id).contains(prev) {
-                break;
-            }
-            entered.push(id);
-            l = forest.get(id).parent;
-        }
+        let entered: Vec<LoopId> = forest.entered_on_edge(prev, cur);
         for &id in &entered {
             self.profiler.record_entry(LoopKey { func, loop_id: id });
         }
@@ -727,6 +1275,7 @@ impl<'m> Vm<'m> {
 
     /// Activates function capture when the just-pushed frame matches.
     fn check_function_capture(&mut self, frames: &[Frame]) {
+        let mut changed = false;
         for c in &mut self.captures {
             if c.done || c.active {
                 continue;
@@ -736,10 +1285,14 @@ impl<'m> Vm<'m> {
                     if c.seen == instance {
                         c.active = true;
                         c.start_depth = frames.len();
+                        changed = true;
                     }
                     c.seen += 1;
                 }
             }
+        }
+        if changed {
+            self.active_dirty = true;
         }
     }
 
@@ -863,5 +1416,24 @@ impl<'m> Vm<'m> {
             Intrinsic::Fmax => xs[0].max(xs[1]),
             Intrinsic::Pow => xs[0].powf(xs[1]),
         }
+    }
+}
+
+/// Flat per-run profiling accumulators for the decoded engine, indexed by
+/// the dense loop table of the [`DecodedModule`]; flushed into the
+/// [`Profiler`] when the run ends (including error exits).
+struct FlatProfile {
+    loop_cycles: Vec<u64>,
+    loop_entries: Vec<u64>,
+    total: u64,
+}
+
+/// Reads a pre-resolved operand against the current frame.
+#[inline(always)]
+fn opnd_in(frame: &Frame, o: Opnd) -> RtVal {
+    match o {
+        Opnd::Reg(r) => frame.regs[r as usize],
+        Opnd::Int(i) => RtVal::Int(i),
+        Opnd::Float(f) => RtVal::Float(f),
     }
 }

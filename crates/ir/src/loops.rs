@@ -241,6 +241,25 @@ impl LoopForest {
         self.innermost[b.index()]
     }
 
+    /// The loops entered by the control-flow edge `prev -> cur`, innermost
+    /// first: the ancestor chain of `cur`'s innermost loop, cut at the first
+    /// loop that already contains `prev`.
+    ///
+    /// This is the loop-entry rule shared by the interpreter's profiler
+    /// bookkeeping and the bytecode decoder's per-edge entry lists.
+    pub fn entered_on_edge(&self, prev: BlockId, cur: BlockId) -> Vec<LoopId> {
+        let mut entered = Vec::new();
+        let mut l = self.innermost_of(cur);
+        while let Some(id) = l {
+            if self.get(id).contains(prev) {
+                break;
+            }
+            entered.push(id);
+            l = self.get(id).parent;
+        }
+        entered
+    }
+
     /// Iterator over `(LoopId, &Loop)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (LoopId, &Loop)> {
         self.loops
